@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the corresponding rows / series.  They are run with
+``pytest benchmarks/ --benchmark-only``; each experiment executes exactly
+once (``benchmark.pedantic`` with one round) because the experiments are
+long-running simulations, not micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import TCNNConfig
+
+# A deliberately small TCNN so the neural policies stay tractable on a
+# CPU-only numpy substrate.  The architecture (tree conv -> embeddings ->
+# fully connected head, censored loss, Adam) is identical to the paper's;
+# only widths and epoch counts are reduced.
+BENCH_TCNN_CONFIG = TCNNConfig(
+    embedding_rank=5,
+    channels=(8,),
+    hidden_units=(16,),
+    dropout=0.2,
+    learning_rate=3e-3,
+    batch_size=128,
+    max_epochs=6,
+    convergence_window=3,
+    convergence_threshold=0.01,
+)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark and return it."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_series(title, series, x_values, x_label="x default time", fmt="{:.1f}"):
+    """Print a named family of series sampled at shared x positions."""
+    from repro.experiments.reporting import format_series_table
+
+    print(f"\n=== {title} ===")
+    print(format_series_table(series, x_values, x_label=x_label, value_format=fmt))
+
+
+def as_array(values):
+    """Convenience conversion used by shape assertions."""
+    return np.asarray(values, dtype=float)

@@ -1,0 +1,6 @@
+"""Benchmark-suite conftest.
+
+The benchmarks are experiment regenerators (one per paper table / figure)
+rather than micro-benchmarks; shared helpers live in ``_bench_utils`` so
+they can be imported without clashing with the unit-test conftest.
+"""

@@ -1,0 +1,105 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These are not paper figures; they probe the knobs the implementation
+exposes: the non-negativity projection in ALS, the timeout multiplier
+``alpha`` (Algorithm 1 line 10), the selection batch size ``m``, and the
+number of ALS fill-in iterations.
+"""
+
+import numpy as np
+from _bench_utils import print_series, run_once
+
+from repro.config import ALSConfig, ExplorationConfig
+from repro.core.policies import LimeQOPolicy
+from repro.core.predictors import ALSPredictor
+from repro.core.simulation import ExplorationSimulator
+from repro.workloads.matrices import generate_workload
+from repro.workloads.spec import CEB_SPEC
+
+SCALE = 0.04
+BUDGET_MULTIPLIER = 2.0
+
+
+def _workload():
+    return generate_workload(CEB_SPEC.scaled(SCALE), seed=0)
+
+
+def _run(workload, als_config=None, batch_size=10, timeout_alpha=2.0, seed=0):
+    config = ExplorationConfig(batch_size=batch_size, timeout_alpha=timeout_alpha, seed=seed)
+    simulator = ExplorationSimulator(workload.true_latencies, config=config)
+    policy = LimeQOPolicy(predictor=ALSPredictor(als_config or ALSConfig()))
+    trace = simulator.run(policy, time_budget=BUDGET_MULTIPLIER * workload.default_total)
+    return trace.final_latency
+
+
+def test_ablation_nonnegativity(benchmark):
+    workload = _workload()
+
+    def run():
+        return {
+            "nonnegative": _run(workload, ALSConfig(nonnegative=True)),
+            "unconstrained": _run(workload, ALSConfig(nonnegative=False)),
+        }
+
+    result = run_once(benchmark, run)
+    print_series(
+        "Ablation: ALS non-negativity projection (final latency, s)",
+        {k: [v] for k, v in result.items()},
+        [BUDGET_MULTIPLIER],
+    )
+    assert result["nonnegative"] < workload.default_total
+    assert result["unconstrained"] < workload.default_total
+
+
+def test_ablation_timeout_alpha(benchmark):
+    workload = _workload()
+    alphas = (1.5, 2.0, 4.0, 8.0)
+
+    def run():
+        return {f"alpha={a}": _run(workload, timeout_alpha=a) for a in alphas}
+
+    result = run_once(benchmark, run)
+    print_series(
+        "Ablation: timeout multiplier alpha (final latency, s)",
+        {k: [v] for k, v in result.items()},
+        [BUDGET_MULTIPLIER],
+    )
+    for value in result.values():
+        assert value < workload.default_total
+
+
+def test_ablation_batch_size(benchmark):
+    workload = _workload()
+    sizes = (5, 10, 25, 50)
+
+    def run():
+        return {f"m={m}": _run(workload, batch_size=m) for m in sizes}
+
+    result = run_once(benchmark, run)
+    print_series(
+        "Ablation: selection batch size m (final latency, s)",
+        {k: [v] for k, v in result.items()},
+        [BUDGET_MULTIPLIER],
+    )
+    values = np.array(list(result.values()))
+    assert (values < workload.default_total).all()
+
+
+def test_ablation_als_iterations(benchmark):
+    workload = _workload()
+    iteration_counts = (5, 15, 50)
+
+    def run():
+        return {
+            f"iters={t}": _run(workload, ALSConfig(iterations=t))
+            for t in iteration_counts
+        }
+
+    result = run_once(benchmark, run)
+    print_series(
+        "Ablation: ALS fill-in iterations (final latency, s)",
+        {k: [v] for k, v in result.items()},
+        [BUDGET_MULTIPLIER],
+    )
+    for value in result.values():
+        assert value < workload.default_total

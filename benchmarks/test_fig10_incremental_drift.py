@@ -1,0 +1,23 @@
+"""Figure 10: % of queries whose optimal hint changes as the data ages."""
+
+from _bench_utils import run_once
+
+from repro.experiments.figures import figure10_incremental_drift
+from repro.experiments.reporting import format_table
+
+
+def test_figure10_incremental_drift(benchmark):
+    result = run_once(benchmark, figure10_incremental_drift, scale=0.05, seed=0)
+    rows = [
+        [interval, f"{expected * 100:.1f}%", f"{simulated * 100:.1f}%"]
+        for interval, expected, simulated in zip(
+            result["intervals"], result["expected"], result["simulated"]
+        )
+    ]
+    print("\n=== Figure 10: optimal-hint drift vs data age ===")
+    print(format_table(["interval", "paper", "simulated"], rows))
+    # Drift grows with the interval and the two-year point is ~21%.
+    assert result["simulated"] == sorted(result["simulated"]) or all(
+        abs(a - b) < 0.05 for a, b in zip(result["simulated"], sorted(result["simulated"]))
+    )
+    assert abs(result["simulated"][-1] - 0.21) < 0.08

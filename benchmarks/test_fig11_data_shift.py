@@ -1,0 +1,33 @@
+"""Figure 11: recovery after a complete two-year data shift on Stack."""
+
+import numpy as np
+from _bench_utils import print_series, run_once
+
+from repro.experiments.figures import figure11_data_shift
+
+
+def test_figure11_data_shift(benchmark):
+    result = run_once(
+        benchmark, figure11_data_shift, scale=0.04, batch_size=10, seed=0,
+        pre_shift_multiplier=2.0,
+    )
+    checkpoints = np.asarray(result["checkpoints"]) / result["default_total"]
+    series = {
+        name: payload["latencies"]
+        for name, payload in result.items()
+        if isinstance(payload, dict) and "latencies" in payload
+    }
+    print_series(
+        "Figure 11 (Stack 2017 -> 2019 data shift): total latency (s)",
+        series,
+        checkpoints,
+    )
+    carried = result["limeqo (data shift)"]["carried_over_latency"]
+    print(f"latency served with re-verified 2017 hints before new exploration: {carried:.1f} s "
+          f"(default {result['default_total']:.1f} s)")
+    # Carrying over the old hints already beats the new default, and the
+    # shifted run ends close to a fresh LimeQO run on the 2019 data.
+    assert carried <= result["default_total"] * 1.001
+    fresh = series["limeqo"][-1]
+    shifted = series["limeqo (data shift)"][-1]
+    assert shifted <= fresh * 1.15

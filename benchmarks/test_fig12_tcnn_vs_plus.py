@@ -1,0 +1,28 @@
+"""Figure 12: pure TCNN vs the transductive TCNN (LimeQO+) on CEB."""
+
+import numpy as np
+from _bench_utils import BENCH_TCNN_CONFIG, print_series, run_once
+
+from repro.experiments.figures import figure12_tcnn_vs_limeqo_plus
+
+
+def test_figure12_tcnn_vs_limeqo_plus(benchmark):
+    result = run_once(
+        benchmark,
+        figure12_tcnn_vs_limeqo_plus,
+        scale=0.02,
+        batch_size=10,
+        seed=0,
+        budget_multiplier=1.0,
+        tcnn_config=BENCH_TCNN_CONFIG,
+    )
+    checkpoints = np.asarray(result["checkpoints"]) / result["default_total"]
+    series = {
+        "tcnn": result["tcnn"]["latencies"],
+        "limeqo+": result["limeqo+"]["latencies"],
+        "optimal": [result["optimal_total"]] * len(checkpoints),
+    }
+    print_series("Figure 12 (CEB): TCNN vs LimeQO+ latency (s)", series, checkpoints)
+    # The embeddings should not hurt: LimeQO+ ends at or below the pure TCNN.
+    assert series["limeqo+"][-1] <= series["tcnn"][-1] * 1.10
+    assert series["limeqo+"][-1] < result["default_total"]

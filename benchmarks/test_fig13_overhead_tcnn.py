@@ -1,0 +1,32 @@
+"""Figure 13: overhead of the pure TCNN vs the transductive TCNN."""
+
+from _bench_utils import BENCH_TCNN_CONFIG, print_series, run_once
+
+from repro.experiments.figures import figure13_overhead_tcnn
+
+
+def test_figure13_overhead_tcnn(benchmark):
+    result = run_once(
+        benchmark,
+        figure13_overhead_tcnn,
+        scale=0.02,
+        batch_size=10,
+        seed=0,
+        budget_multiplier=1.0,
+        tcnn_config=BENCH_TCNN_CONFIG,
+    )
+    series = {
+        "tcnn": result["tcnn"]["overheads"],
+        "limeqo+": result["limeqo+"]["overheads"],
+    }
+    print_series(
+        "Figure 13 (CEB): cumulative overhead (s) vs exploration time (s)",
+        series,
+        result["checkpoints"],
+        x_label="exploration time (s)",
+        fmt="{:.2f}",
+    )
+    # The embedding layers add only modest overhead on top of the TCNN
+    # (the paper reports ~20 extra minutes on top of ~50).
+    assert series["limeqo+"][-1] <= series["tcnn"][-1] * 3.0 + 5.0
+    assert series["limeqo+"][-1] > 0

@@ -1,0 +1,28 @@
+"""Figure 14: singular values of the CEB workload matrix vs a random matrix."""
+
+import numpy as np
+from _bench_utils import print_series, run_once
+
+from repro.experiments.figures import figure14_singular_values
+
+
+def test_figure14_singular_values(benchmark):
+    result = run_once(benchmark, figure14_singular_values, scale=1.0, seed=0)
+    workload_sv = np.asarray(result["workload_singular_values"])
+    random_sv = np.asarray(result["random_singular_values"])
+    indices = list(range(0, len(workload_sv), 5))
+    series = {
+        "ceb matrix": (workload_sv / workload_sv[0])[indices],
+        "random matrix": (random_sv / random_sv[0])[indices],
+    }
+    print_series(
+        "Figure 14: normalised singular values (every 5th index)",
+        series,
+        indices,
+        x_label="singular value index",
+        fmt="{:.3f}",
+    )
+    print(f"effective rank (95% energy): {result['effective_rank_95']}")
+    # The workload matrix is effectively low rank; the random matrix is not.
+    assert result["effective_rank_95"] <= 10
+    assert workload_sv[5] / workload_sv[0] < random_sv[5] / random_sv[0]

@@ -1,0 +1,23 @@
+"""Figure 16: the censored technique vs plain ALS."""
+
+import numpy as np
+from _bench_utils import print_series, run_once
+
+from repro.experiments.figures import figure16_censored_ablation
+
+
+def test_figure16_censored_ablation(benchmark):
+    result = run_once(
+        benchmark, figure16_censored_ablation, scale=0.04, batch_size=10, seed=0,
+        include_neural=False,
+    )
+    multiples = np.asarray(result["checkpoints"]) / result["default_total"]
+    series = {
+        "limeqo": result["limeqo"]["latencies"],
+        "limeqo (no censoring)": result["limeqo (no censoring)"]["latencies"],
+        "optimal": [result["optimal_total"]] * len(multiples),
+    }
+    print_series("Figure 16: censored vs uncensored LimeQO latency (s)", series, multiples)
+    # Censoring never hurts the final result materially.
+    assert series["limeqo"][-1] <= series["limeqo (no censoring)"][-1] * 1.10
+    assert series["limeqo"][-1] < result["default_total"]

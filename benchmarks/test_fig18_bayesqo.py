@@ -1,0 +1,40 @@
+"""Figure 18: workload-level LimeQO vs per-query BayesQO on JOB."""
+
+import numpy as np
+from _bench_utils import print_series, run_once
+
+from repro.experiments.figures import figure18_bayesqo
+
+
+def test_figure18_bayesqo(benchmark):
+    result = run_once(
+        benchmark, figure18_bayesqo, scale=1.0, per_query_budget=3.0,
+        batch_size=5, seed=0,
+    )
+    budget = result["total_budget"]
+    fractions = np.linspace(0.0, 1.0, 9)
+
+    def sample(curve):
+        times = np.asarray(curve["times"])
+        lats = np.asarray(curve["latencies"])
+        out = []
+        for frac in fractions:
+            idx = np.searchsorted(times, frac * budget, side="right") - 1
+            out.append(lats[max(idx, 0)])
+        return out
+
+    series = {
+        "bayesqo": sample(result["bayesqo"]),
+        "limeqo": sample(result["limeqo"]),
+        "optimal": [result["optimal_total"]] * len(fractions),
+    }
+    print_series(
+        "Figure 18 (JOB): total latency (s) vs offline optimisation time",
+        series,
+        fractions * budget,
+        x_label="offline time (s)",
+    )
+    # LimeQO, allocating the same total budget across the workload, ends at
+    # or below BayesQO's per-query even split.
+    assert series["limeqo"][-1] <= series["bayesqo"][-1] * 1.02
+    assert series["limeqo"][-1] < result["default_total"]

@@ -1,0 +1,45 @@
+"""Figure 6: latency vs exploration time curves on CEB."""
+
+import numpy as np
+from _bench_utils import BENCH_TCNN_CONFIG, print_series, run_once
+
+from repro.experiments.figures import figure6_ceb_curves
+
+POLICIES = ("qo-advisor", "random", "greedy", "limeqo", "limeqo+")
+
+
+def test_figure6_ceb_curves(benchmark):
+    result = run_once(
+        benchmark,
+        figure6_ceb_curves,
+        scale=0.03,
+        policies=POLICIES,
+        budget_multiplier=2.0,
+        batch_size=10,
+        seed=0,
+        tcnn_config=BENCH_TCNN_CONFIG,
+    )
+    default = result["default_total"]
+    optimal = result["optimal_total"]
+    # Sample every curve at shared fractions of the budget for the printout.
+    fractions = np.linspace(0.0, 2.0, 9)
+    series = {}
+    for policy, curve in result["curves"].items():
+        times = np.asarray(curve["times"])
+        lats = np.asarray(curve["latencies"])
+        samples = []
+        for frac in fractions:
+            idx = np.searchsorted(times, frac * default, side="right") - 1
+            samples.append(lats[max(idx, 0)])
+        series[policy] = samples
+    series["optimal"] = [optimal] * len(fractions)
+    print_series("Figure 6 (CEB): latency (s) vs exploration time", series, fractions)
+
+    limeqo_final = series["limeqo"][-1]
+    random_final = series["random"][-1]
+    assert limeqo_final <= random_final * 1.05
+    assert all(
+        b <= a + 1e-9
+        for a, b in zip(result["curves"]["limeqo"]["latencies"],
+                        result["curves"]["limeqo"]["latencies"][1:])
+    )

@@ -1,0 +1,35 @@
+"""Figure 7: cumulative model overhead, LimeQO vs LimeQO+ (and a GPU estimate)."""
+
+from _bench_utils import BENCH_TCNN_CONFIG, print_series, run_once
+
+from repro.experiments.figures import figure7_overhead
+
+
+def test_figure7_overhead(benchmark):
+    result = run_once(
+        benchmark,
+        figure7_overhead,
+        scale=0.025,
+        batch_size=10,
+        seed=0,
+        budget_multiplier=1.5,
+        tcnn_config=BENCH_TCNN_CONFIG,
+    )
+    checkpoints = result["checkpoints"]
+    series = {
+        "limeqo": result["limeqo"]["overheads"],
+        "limeqo+": result["limeqo+"]["overheads"],
+        "limeqo+(gpu-estimate)": result["limeqo+(gpu-estimate)"]["overheads"],
+    }
+    print_series(
+        "Figure 7 (CEB): cumulative model overhead (s) vs exploration time (s)",
+        series,
+        checkpoints,
+        x_label="exploration time (s)",
+        fmt="{:.2f}",
+    )
+    print(f"overhead ratio limeqo+ / limeqo: {result['overhead_ratio']:.0f}x "
+          "(paper reports ~360x with PyTorch on the full CEB matrix)")
+    # The neural method's overhead must dwarf the linear method's.
+    assert result["overhead_ratio"] > 10
+    assert series["limeqo"][-1] < 5.0

@@ -1,0 +1,27 @@
+"""Figure 9: 30% of the CEB queries arrive two hours into exploration."""
+
+import numpy as np
+from _bench_utils import print_series, run_once
+
+from repro.experiments.figures import figure9_workload_shift
+
+
+def test_figure9_workload_shift(benchmark):
+    result = run_once(
+        benchmark, figure9_workload_shift, scale=0.04, batch_size=10, seed=0,
+        initial_fraction=0.7, budget_multiplier=2.0,
+    )
+    checkpoints = np.asarray(result["checkpoints"]) / result["default_total"]
+    series = {
+        name: payload["latencies"]
+        for name, payload in result.items()
+        if isinstance(payload, dict) and "latencies" in payload
+    }
+    print_series(
+        "Figure 9 (CEB, workload shift): total latency (s)", series, checkpoints
+    )
+    # LimeQO with the shift recovers: by the end of the budget it is close to
+    # (or better than) Greedy without any shift, and clearly better than
+    # Greedy facing the same shift.
+    assert series["limeqo (with shift)"][-1] <= series["greedy (with shift)"][-1] * 1.05
+    assert series["limeqo (with shift)"][-1] <= result["default_total"]

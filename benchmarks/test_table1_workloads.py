@@ -1,0 +1,46 @@
+"""Table 1: workload summary (Default vs Optimal totals, headroom)."""
+
+from _bench_utils import run_once
+
+from repro.experiments.figures import table1_workload_summary
+from repro.experiments.reporting import format_table
+
+
+def test_table1_workload_summary(benchmark):
+    result = run_once(benchmark, table1_workload_summary, scale=1.0, seed=0)
+    rows = []
+    for name, row in result.items():
+        rows.append(
+            [
+                name,
+                row["n_queries"],
+                f"{row['default_total_s']:.0f}",
+                f"{row['optimal_total_s']:.0f}",
+                f"{row['headroom']:.2f}",
+                f"{row['paper_default_s']:.0f}",
+                f"{row['paper_optimal_s']:.0f}",
+                f"{row['exhaustive_exploration_s'] / 86400:.1f}",
+            ]
+        )
+    print("\n=== Table 1: workloads (measured vs paper) ===")
+    print(
+        format_table(
+            [
+                "workload",
+                "queries",
+                "default(s)",
+                "optimal(s)",
+                "headroom",
+                "paper default(s)",
+                "paper optimal(s)",
+                "exhaustive (days)",
+            ],
+            rows,
+        )
+    )
+    # Shape checks: calibration matches the paper's totals and headroom.
+    for name, row in result.items():
+        assert abs(row["default_total_s"] - row["paper_default_s"]) / row["paper_default_s"] < 0.05
+        assert abs(row["optimal_total_s"] - row["paper_optimal_s"]) / row["paper_optimal_s"] < 0.10
+    # Exhaustively executing CEB takes on the order of days (the "12 days").
+    assert result["ceb"]["exhaustive_exploration_s"] > 5 * result["ceb"]["default_total_s"]

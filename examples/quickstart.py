@@ -1,0 +1,49 @@
+"""Quickstart: offline exploration on a CEB-like workload.
+
+Generates a calibrated synthetic workload, runs LimeQO's linear method for
+half of the default workload time, and prints the resulting speedup next to
+the Random and Greedy baselines and the oracle optimum.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    CEB_SPEC,
+    ExplorationSimulator,
+    GreedyPolicy,
+    LimeQOPolicy,
+    RandomPolicy,
+    generate_workload,
+)
+from repro.config import ExplorationConfig
+
+
+def main() -> None:
+    # A 5% sample of the CEB workload (157 queries x 49 hint sets), calibrated
+    # so the Default / Optimal headroom matches the paper's Table 1.
+    workload = generate_workload(CEB_SPEC.scaled(0.05), seed=0)
+    print(f"Workload: {workload.spec.name}  "
+          f"({workload.n_queries} queries x {workload.n_hints} hints)")
+    print(f"  default total latency : {workload.default_total:8.1f} s")
+    print(f"  oracle-optimal latency: {workload.optimal_total:8.1f} s")
+    print(f"  exhaustive exploration: {workload.exhaustive_exploration_time():8.1f} s")
+
+    simulator = ExplorationSimulator(
+        workload.true_latencies, config=ExplorationConfig(batch_size=10, seed=0)
+    )
+    budget = 0.5 * workload.default_total
+    print(f"\nExploring offline for {budget:.0f} s "
+          f"(half of the default workload time)...\n")
+
+    print(f"{'policy':10s} {'final latency':>14s} {'speedup':>8s} {'model overhead':>15s}")
+    for policy in (RandomPolicy(), GreedyPolicy(), LimeQOPolicy()):
+        trace = simulator.run(policy, time_budget=budget)
+        speedup = workload.default_total / trace.final_latency
+        print(f"{policy.name:10s} {trace.final_latency:12.1f} s "
+              f"{speedup:7.2f}x {trace.overheads[-1]:13.2f} s")
+    print(f"{'optimal':10s} {workload.optimal_total:12.1f} s "
+          f"{workload.default_total / workload.optimal_total:7.2f}x")
+
+
+if __name__ == "__main__":
+    main()

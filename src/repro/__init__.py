@@ -1,0 +1,106 @@
+"""LimeQO: low-rank learning for offline query optimization.
+
+A from-scratch reproduction of "Low Rank Learning for Offline Query
+Optimization" (SIGMOD 2025).  The public API re-exports the pieces a
+downstream user needs most:
+
+* workload construction (:mod:`repro.workloads`),
+* the workload matrix and censored ALS (:mod:`repro.core`),
+* exploration policies and the offline explorer / simulator,
+* the online plan cache and the :class:`~repro.core.limeqo.LimeQO` facade,
+* the simulated DBMS substrate (:mod:`repro.db`),
+* the numpy TCNN substrate (:mod:`repro.nn`),
+* the experiment harness regenerating every table and figure
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import generate_workload, CEB_SPEC, ExplorationSimulator, LimeQOPolicy
+
+    workload = generate_workload(CEB_SPEC.scaled(0.05), seed=0)
+    simulator = ExplorationSimulator(workload.true_latencies)
+    trace = simulator.run(LimeQOPolicy(), time_budget=0.5 * workload.default_total)
+    print(trace.final_latency, "vs default", workload.default_total)
+"""
+
+from .config import ALSConfig, ExplorationConfig, SimulationConfig, TCNNConfig
+from .core import (
+    ALSCompleter,
+    ALSPredictor,
+    BaoCachePolicy,
+    CensoredALSResult,
+    ExplorationPolicy,
+    ExplorationSimulator,
+    ExplorationTrace,
+    GreedyPolicy,
+    LimeQO,
+    LimeQOPlusPolicy,
+    LimeQOPolicy,
+    MatrixCompleter,
+    MatrixOracle,
+    NuclearNormCompleter,
+    OfflineExplorer,
+    PlanCache,
+    QOAdvisorPolicy,
+    RandomPolicy,
+    SVTCompleter,
+    WorkloadMatrix,
+    censored_als,
+)
+from .db import HintSet, all_hint_sets, default_hint_set
+from .errors import ReproError
+from .workloads import (
+    CEB_SPEC,
+    DSB_SPEC,
+    JOB_SPEC,
+    STACK_SPEC,
+    SyntheticWorkload,
+    WorkloadSpec,
+    build_database_workload,
+    generate_workload,
+    get_spec,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALSConfig",
+    "ExplorationConfig",
+    "SimulationConfig",
+    "TCNNConfig",
+    "ALSCompleter",
+    "ALSPredictor",
+    "BaoCachePolicy",
+    "CensoredALSResult",
+    "ExplorationPolicy",
+    "ExplorationSimulator",
+    "ExplorationTrace",
+    "GreedyPolicy",
+    "LimeQO",
+    "LimeQOPlusPolicy",
+    "LimeQOPolicy",
+    "MatrixCompleter",
+    "MatrixOracle",
+    "NuclearNormCompleter",
+    "OfflineExplorer",
+    "PlanCache",
+    "QOAdvisorPolicy",
+    "RandomPolicy",
+    "SVTCompleter",
+    "WorkloadMatrix",
+    "censored_als",
+    "HintSet",
+    "all_hint_sets",
+    "default_hint_set",
+    "ReproError",
+    "CEB_SPEC",
+    "DSB_SPEC",
+    "JOB_SPEC",
+    "STACK_SPEC",
+    "SyntheticWorkload",
+    "WorkloadSpec",
+    "build_database_workload",
+    "generate_workload",
+    "get_spec",
+    "__version__",
+]

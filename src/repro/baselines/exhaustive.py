@@ -1,0 +1,35 @@
+"""The oracle ("Optimal") baseline and exhaustive exploration costs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ExplorationError
+
+
+def _validate(true_latencies) -> np.ndarray:
+    matrix = np.asarray(true_latencies, dtype=float)
+    if matrix.ndim != 2:
+        raise ExplorationError("true latency matrix must be 2-D")
+    if not np.all(np.isfinite(matrix)):
+        raise ExplorationError("true latency matrix must be finite")
+    return matrix
+
+
+def oracle_hints(true_latencies) -> np.ndarray:
+    """Per-query index of the truly fastest hint."""
+    return _validate(true_latencies).argmin(axis=1)
+
+
+def oracle_latency(true_latencies) -> float:
+    """Total workload latency with the truly optimal hint per query."""
+    return float(_validate(true_latencies).min(axis=1).sum())
+
+
+def exhaustive_exploration_cost(true_latencies) -> float:
+    """Offline time required to execute every (query, hint) cell once.
+
+    This is the "12 days for CEB / 16 days for Stack" number motivating
+    strategic exploration in Section 3.
+    """
+    return float(_validate(true_latencies).sum())

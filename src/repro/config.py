@@ -1,0 +1,127 @@
+"""Configuration dataclasses shared across the library.
+
+Every knob the paper exposes (rank, regularisation, ALS iterations, the
+selection batch size ``m``, the timeout multiplier ``alpha``, TCNN training
+hyper-parameters) lives here so experiments can be described declaratively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ALSConfig:
+    """Hyper-parameters of the censored ALS solver (paper Algorithm 2).
+
+    The paper's defaults are ``rank=5``, ``regularization=0.2``,
+    ``iterations=50`` (Section 5, "Techniques and tests").  With the rank-1
+    baseline initialisation used here (see :func:`repro.core.als.censored_als`)
+    15 fill-in iterations are sufficient and noticeably more robust in the
+    very sparse cold-start regime, so that is the default; pass
+    ``iterations=50`` to match the paper exactly.
+    """
+
+    rank: int = 5
+    regularization: float = 0.2
+    iterations: int = 15
+    nonnegative: bool = True
+    censored: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rank < 1:
+            raise ConfigError(f"rank must be >= 1, got {self.rank}")
+        if self.regularization < 0:
+            raise ConfigError(
+                f"regularization must be >= 0, got {self.regularization}"
+            )
+        if self.iterations < 1:
+            raise ConfigError(f"iterations must be >= 1, got {self.iterations}")
+
+
+@dataclass(frozen=True)
+class ExplorationConfig:
+    """Knobs of the offline exploration loop (paper Algorithm 1)."""
+
+    batch_size: int = 10
+    timeout_alpha: float = 2.0
+    allow_random_fill: bool = True
+    max_steps: int = 10_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.timeout_alpha <= 0:
+            raise ConfigError(
+                f"timeout_alpha must be > 0, got {self.timeout_alpha}"
+            )
+        if self.max_steps < 1:
+            raise ConfigError(f"max_steps must be >= 1, got {self.max_steps}")
+
+
+@dataclass(frozen=True)
+class TCNNConfig:
+    """Hyper-parameters of the (transductive) tree convolutional network.
+
+    Defaults follow Section 5: embedding rank 5, dropout 0.3, Adam with
+    batch size 32, at most 100 epochs with a 1%-over-10-epochs convergence
+    criterion.
+    """
+
+    embedding_rank: int = 5
+    channels: tuple = (64, 32, 16)
+    hidden_units: tuple = (32, 16)
+    dropout: float = 0.3
+    learning_rate: float = 1e-3
+    batch_size: int = 32
+    max_epochs: int = 100
+    convergence_window: int = 10
+    convergence_threshold: float = 0.01
+    use_embeddings: bool = True
+    censored: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.embedding_rank < 1:
+            raise ConfigError(
+                f"embedding_rank must be >= 1, got {self.embedding_rank}"
+            )
+        if not 0.0 <= self.dropout < 1.0:
+            raise ConfigError(f"dropout must be in [0, 1), got {self.dropout}")
+        if self.learning_rate <= 0:
+            raise ConfigError(
+                f"learning_rate must be > 0, got {self.learning_rate}"
+            )
+        if self.batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.max_epochs < 1:
+            raise ConfigError(f"max_epochs must be >= 1, got {self.max_epochs}")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Controls the simulated offline exploration clock."""
+
+    total_exploration_time: float = float("inf")
+    checkpoint_times: tuple = field(default_factory=tuple)
+    record_every_step: bool = True
+
+    def __post_init__(self) -> None:
+        if self.total_exploration_time <= 0:
+            raise ConfigError(
+                "total_exploration_time must be > 0, got "
+                f"{self.total_exploration_time}"
+            )
+        for t in self.checkpoint_times:
+            if t < 0:
+                raise ConfigError(f"checkpoint time must be >= 0, got {t}")
+
+
+DEFAULT_ALS_CONFIG = ALSConfig()
+DEFAULT_EXPLORATION_CONFIG = ExplorationConfig()
+DEFAULT_TCNN_CONFIG = TCNNConfig()
+DEFAULT_SIMULATION_CONFIG = SimulationConfig()

@@ -1,0 +1,259 @@
+"""The offline exploration loop (paper Algorithm 1) and execution oracles.
+
+The explorer is agnostic to where latencies come from: it talks to an
+*execution oracle* that runs one (query, hint) cell with a timeout and
+returns an :class:`~repro.db.executor.ExecutionResult`.  Two oracles ship
+with the library:
+
+* :class:`MatrixOracle` -- backed by a fully known ground-truth latency
+  matrix (used by the simulator and every benchmark),
+* :class:`DatabaseOracle` -- backed by the simulated DBMS substrate
+  (planner + latency model), used by the end-to-end examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from ..config import ExplorationConfig
+from ..db.executor import ExecutionResult, HintedExecutor
+from ..db.hints import HintSet
+from ..db.query import Query
+from ..errors import ExplorationError
+from .policies import ExplorationPolicy
+from .workload_matrix import WorkloadMatrix
+
+
+class ExecutionOracle(Protocol):
+    """Anything that can execute one workload-matrix cell with a timeout."""
+
+    def execute(
+        self, query: int, hint: int, timeout: Optional[float] = None
+    ) -> ExecutionResult:
+        """Run cell (query, hint); censor at ``timeout`` when provided."""
+        ...  # pragma: no cover - protocol
+
+
+class MatrixOracle:
+    """Oracle backed by a ground-truth latency matrix."""
+
+    def __init__(self, true_latencies: np.ndarray) -> None:
+        self.true_latencies = np.asarray(true_latencies, dtype=float)
+        if self.true_latencies.ndim != 2:
+            raise ExplorationError("true latency matrix must be 2-D")
+        if not np.all(np.isfinite(self.true_latencies)):
+            raise ExplorationError("true latency matrix must be fully finite")
+        if np.any(self.true_latencies < 0):
+            raise ExplorationError("latencies must be non-negative")
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Shape of the underlying ground-truth matrix."""
+        return self.true_latencies.shape
+
+    def execute(
+        self, query: int, hint: int, timeout: Optional[float] = None
+    ) -> ExecutionResult:
+        latency = float(self.true_latencies[query, hint])
+        if timeout is not None and timeout > 0 and latency >= timeout:
+            return ExecutionResult(latency=latency, timed_out=True, charged_time=float(timeout))
+        return ExecutionResult(latency=latency, timed_out=False, charged_time=latency)
+
+
+class DatabaseOracle:
+    """Oracle backed by the simulated DBMS (planner + execution engine)."""
+
+    def __init__(
+        self,
+        executor: HintedExecutor,
+        queries: Sequence[Query],
+        hint_sets: Sequence[HintSet],
+    ) -> None:
+        self.executor = executor
+        self.queries = list(queries)
+        self.hint_sets = list(hint_sets)
+        if not self.queries or not self.hint_sets:
+            raise ExplorationError("DatabaseOracle needs queries and hint sets")
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """(number of queries, number of hint sets)."""
+        return (len(self.queries), len(self.hint_sets))
+
+    def execute(
+        self, query: int, hint: int, timeout: Optional[float] = None
+    ) -> ExecutionResult:
+        if not 0 <= query < len(self.queries):
+            raise ExplorationError(f"query index {query} out of range")
+        if not 0 <= hint < len(self.hint_sets):
+            raise ExplorationError(f"hint index {hint} out of range")
+        return self.executor.execute_with_hint(
+            self.queries[query], self.hint_sets[hint], timeout=timeout
+        )
+
+
+@dataclass
+class ExplorationStep:
+    """Bookkeeping for one iteration of Algorithm 1."""
+
+    index: int
+    selected: List[Tuple[int, int]]
+    results: List[ExecutionResult]
+    exploration_time_delta: float
+    cumulative_exploration_time: float
+    workload_latency: float
+    overhead_seconds: float
+    timeouts_used: List[Optional[float]] = field(default_factory=list)
+
+    @property
+    def num_censored(self) -> int:
+        """How many of this step's executions were cancelled at their timeout."""
+        return sum(1 for r in self.results if r.timed_out)
+
+
+class OfflineExplorer:
+    """Runs Algorithm 1 against an execution oracle.
+
+    Parameters
+    ----------
+    matrix:
+        The evolving partially observed workload matrix (mutated in place).
+    policy:
+        Which cells to execute next.
+    oracle:
+        Where latencies come from.
+    config:
+        Batch size ``m``, timeout multiplier ``alpha``, step limits.
+    """
+
+    def __init__(
+        self,
+        matrix: WorkloadMatrix,
+        policy: ExplorationPolicy,
+        oracle: ExecutionOracle,
+        config: Optional[ExplorationConfig] = None,
+    ) -> None:
+        self.matrix = matrix
+        self.policy = policy
+        self.oracle = oracle
+        self.config = config or ExplorationConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self._steps: List[ExplorationStep] = []
+        self._cumulative_time = 0.0
+
+    # -- state ---------------------------------------------------------------
+    @property
+    def steps(self) -> List[ExplorationStep]:
+        """All steps taken so far."""
+        return list(self._steps)
+
+    @property
+    def cumulative_exploration_time(self) -> float:
+        """Total offline execution time charged so far (seconds)."""
+        return self._cumulative_time
+
+    @property
+    def overhead_seconds(self) -> float:
+        """Cumulative model overhead of the policy's predictor."""
+        return self.policy.overhead_seconds
+
+    # -- the loop ---------------------------------------------------------------
+    def step(self) -> Optional[ExplorationStep]:
+        """Run one iteration; returns None when nothing is left to explore."""
+        selected = self.policy.select(self.matrix, self.config.batch_size, self._rng)
+        selected = [pair for pair in selected if not self.matrix.is_observed(*pair)]
+        if not selected:
+            return None
+
+        results: List[ExecutionResult] = []
+        timeouts_used: List[Optional[float]] = []
+        time_delta = 0.0
+        predicted = self.policy.last_prediction
+        for query, hint in selected:
+            timeout = self._timeout_for(query, hint, predicted)
+            result = self.oracle.execute(query, hint, timeout=timeout)
+            if result.timed_out:
+                self.matrix.observe_censored(query, hint, result.charged_time)
+            else:
+                self.matrix.observe(query, hint, result.latency)
+            results.append(result)
+            timeouts_used.append(timeout)
+            time_delta += result.charged_time
+
+        self._cumulative_time += time_delta
+        step = ExplorationStep(
+            index=len(self._steps),
+            selected=selected,
+            results=results,
+            exploration_time_delta=time_delta,
+            cumulative_exploration_time=self._cumulative_time,
+            workload_latency=self.matrix.workload_latency(),
+            overhead_seconds=self.policy.overhead_seconds,
+            timeouts_used=timeouts_used,
+        )
+        self._steps.append(step)
+        return step
+
+    def run(
+        self,
+        time_budget: float = float("inf"),
+        max_steps: Optional[int] = None,
+    ) -> List[ExplorationStep]:
+        """Run steps until the exploration-time budget or step limit is hit."""
+        if time_budget <= 0:
+            raise ExplorationError(f"time_budget must be > 0, got {time_budget}")
+        limit = max_steps if max_steps is not None else self.config.max_steps
+        taken: List[ExplorationStep] = []
+        while len(taken) < limit and self._cumulative_time < time_budget:
+            step = self.step()
+            if step is None:
+                break
+            taken.append(step)
+        return taken
+
+    # -- results -------------------------------------------------------------------
+    def recommend_hints(self, default_hint: int = 0) -> List[int]:
+        """Best observed hint per query; the default hint when nothing observed.
+
+        This is Algorithm 1 lines 13-14 and carries the no-regression
+        guarantee: a non-default hint is returned only when its observed
+        latency beats every other observation for that query, including the
+        default plan's.
+        """
+        hints = []
+        for query in range(self.matrix.n_queries):
+            best = self.matrix.best_hint(query)
+            hints.append(default_hint if best is None else best)
+        return hints
+
+    # -- internals -------------------------------------------------------------------
+    def _timeout_for(
+        self, query: int, hint: int, predicted: Optional[np.ndarray]
+    ) -> Optional[float]:
+        """Algorithm 1 line 10: ``T_ij = min(min(W~_i), alpha * Ŵ_ij)``.
+
+        The prediction-based cap is only applied once the row has at least
+        two completed observations: with just the default plan observed the
+        model has nothing row-specific to learn from, and a spuriously low
+        prediction would censor the candidate at a useless threshold and
+        permanently burn the cell.
+        """
+        row_min = self.matrix.row_min(query)
+        candidates = []
+        if np.isfinite(row_min):
+            candidates.append(row_min)
+        prediction_usable = (
+            predicted is not None
+            and predicted.shape == self.matrix.shape
+            and self.matrix.observed_count_in_row(query) >= 2
+        )
+        if prediction_usable:
+            predicted_value = float(predicted[query, hint])
+            if np.isfinite(predicted_value) and predicted_value > 0:
+                candidates.append(predicted_value * self.config.timeout_alpha)
+        if not candidates:
+            return None
+        return float(min(candidates))

@@ -1,0 +1,209 @@
+"""Matrix-completion solvers compared in the paper (Figure 17).
+
+Three completers behind one interface:
+
+* :class:`ALSCompleter` -- the censored alternating-least-squares method the
+  paper adopts (Algorithm 2),
+* :class:`SVTCompleter` -- singular value thresholding (Cai et al. 2010),
+* :class:`NuclearNormCompleter` -- nuclear-norm minimisation approximated by
+  the Soft-Impute iteration (iteratively soft-thresholded SVD), which solves
+  the same convex relaxation without an external SDP solver.
+
+All completers consume the same (observed, mask, timeouts) triple produced
+by :class:`~repro.core.workload_matrix.WorkloadMatrix`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from ..config import ALSConfig
+from ..errors import CompletionError
+from .als import censored_als
+
+
+class MatrixCompleter(ABC):
+    """Interface shared by all matrix-completion solvers."""
+
+    name = "base"
+
+    @abstractmethod
+    def complete(
+        self,
+        observed: np.ndarray,
+        mask: np.ndarray,
+        timeouts: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Return a fully filled matrix of the same shape as ``observed``."""
+
+    @staticmethod
+    def _validate(observed: np.ndarray, mask: np.ndarray) -> None:
+        observed = np.asarray(observed)
+        mask = np.asarray(mask)
+        if observed.ndim != 2 or mask.shape != observed.shape:
+            raise CompletionError(
+                f"observed {observed.shape} and mask {mask.shape} must be matching 2-D arrays"
+            )
+        if mask.sum() == 0:
+            raise CompletionError("observation mask is empty")
+
+
+class ALSCompleter(MatrixCompleter):
+    """Censored ALS (the paper's choice)."""
+
+    name = "als"
+
+    def __init__(self, config: Optional[ALSConfig] = None) -> None:
+        self.config = config or ALSConfig()
+
+    def complete(
+        self,
+        observed: np.ndarray,
+        mask: np.ndarray,
+        timeouts: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        self._validate(observed, mask)
+        result = censored_als(observed, mask, timeouts, self.config)
+        return result.completed
+
+
+class SVTCompleter(MatrixCompleter):
+    """Singular Value Thresholding.
+
+    Iterates ``Y += step * M ⊙ (W - shrink(Y))`` where ``shrink`` soft-
+    thresholds the singular values at ``tau``.  Struggles at very low fill
+    fractions -- the behaviour Figure 17 documents.
+    """
+
+    name = "svt"
+
+    def __init__(
+        self,
+        tau: Optional[float] = None,
+        step: float = 1.2,
+        iterations: int = 150,
+        tolerance: float = 1e-4,
+    ) -> None:
+        if iterations < 1:
+            raise CompletionError("SVT needs at least one iteration")
+        self.tau = tau
+        self.step = float(step)
+        self.iterations = int(iterations)
+        self.tolerance = float(tolerance)
+
+    def complete(
+        self,
+        observed: np.ndarray,
+        mask: np.ndarray,
+        timeouts: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        self._validate(observed, mask)
+        mask = np.asarray(mask, dtype=float)
+        observed_filled = np.where(mask > 0, np.asarray(observed, dtype=float), 0.0)
+        n, k = observed_filled.shape
+        # Cai et al. recommend a threshold of roughly 5 * sqrt(n * k); smaller
+        # values over-shrink the recovered spectrum.
+        tau = self.tau if self.tau is not None else 5.0 * np.sqrt(n * k)
+        dual = self.step * observed_filled * mask
+        estimate = np.zeros_like(observed_filled)
+        norm_observed = np.linalg.norm(observed_filled * mask)
+        if norm_observed == 0:
+            raise CompletionError("SVT cannot run: all observed entries are zero")
+        for _ in range(self.iterations):
+            u, s, vt = np.linalg.svd(dual, full_matrices=False)
+            s_shrunk = np.maximum(s - tau, 0.0)
+            estimate = (u * s_shrunk) @ vt
+            residual = mask * (observed_filled - estimate)
+            dual = dual + self.step * residual
+            if np.linalg.norm(residual) / norm_observed < self.tolerance:
+                break
+        completed = mask * observed_filled + (1.0 - mask) * estimate
+        return np.maximum(completed, 0.0)
+
+
+class NuclearNormCompleter(MatrixCompleter):
+    """Nuclear-norm minimisation via the Soft-Impute iteration.
+
+    Repeatedly fills the missing entries with the current estimate and
+    soft-thresholds the singular values, converging to the solution of the
+    convex nuclear-norm relaxation.  Accurate but noticeably slower than ALS
+    -- the trade-off Figure 17 illustrates.
+    """
+
+    name = "nuc"
+
+    def __init__(
+        self,
+        shrinkage: Optional[float] = None,
+        iterations: int = 300,
+        tolerance: float = 1e-6,
+    ) -> None:
+        if iterations < 1:
+            raise CompletionError("NuclearNormCompleter needs at least one iteration")
+        self.shrinkage = shrinkage
+        self.iterations = int(iterations)
+        self.tolerance = float(tolerance)
+
+    def complete(
+        self,
+        observed: np.ndarray,
+        mask: np.ndarray,
+        timeouts: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        self._validate(observed, mask)
+        mask = np.asarray(mask, dtype=float)
+        observed_filled = np.where(mask > 0, np.asarray(observed, dtype=float), 0.0)
+        # Default shrinkage: a small fraction of the top singular value, so
+        # the solution keeps most of the observed structure.
+        top_singular = np.linalg.svd(observed_filled, compute_uv=False)[0]
+        lam = self.shrinkage if self.shrinkage is not None else 0.01 * top_singular
+        estimate = np.zeros_like(observed_filled)
+        for _ in range(self.iterations):
+            filled = mask * observed_filled + (1.0 - mask) * estimate
+            u, s, vt = np.linalg.svd(filled, full_matrices=False)
+            s_shrunk = np.maximum(s - lam, 0.0)
+            new_estimate = (u * s_shrunk) @ vt
+            change = np.linalg.norm(new_estimate - estimate) / (
+                np.linalg.norm(estimate) + 1e-12
+            )
+            estimate = new_estimate
+            if change < self.tolerance:
+                break
+        completed = mask * observed_filled + (1.0 - mask) * estimate
+        return np.maximum(completed, 0.0)
+
+
+def completion_mse(
+    truth: np.ndarray, completed: np.ndarray, holdout_mask: Optional[np.ndarray] = None
+) -> float:
+    """Mean squared error of ``completed`` against ``truth``.
+
+    When ``holdout_mask`` is given, only entries where it is non-zero count
+    (the usual train/test split for matrix completion benchmarks).
+    """
+    truth = np.asarray(truth, dtype=float)
+    completed = np.asarray(completed, dtype=float)
+    if truth.shape != completed.shape:
+        raise CompletionError(
+            f"shape mismatch: truth {truth.shape} vs completed {completed.shape}"
+        )
+    if holdout_mask is None:
+        diff = truth - completed
+        return float(np.mean(diff ** 2))
+    holdout_mask = np.asarray(holdout_mask, dtype=bool)
+    if holdout_mask.shape != truth.shape:
+        raise CompletionError("holdout mask shape mismatch")
+    if not holdout_mask.any():
+        raise CompletionError("holdout mask selects no entries")
+    diff = truth[holdout_mask] - completed[holdout_mask]
+    return float(np.mean(diff ** 2))
+
+
+def completion_rmse(
+    truth: np.ndarray, completed: np.ndarray, holdout_mask: Optional[np.ndarray] = None
+) -> float:
+    """Root of :func:`completion_mse`."""
+    return float(np.sqrt(completion_mse(truth, completed, holdout_mask)))

@@ -1,0 +1,130 @@
+"""The online serving path: a verified plan cache with no regressions.
+
+Figure 2's online path: when a query arrives, the DBMS asks LimeQO whether
+a *verified* better plan exists.  The cache answers with the best hint whose
+latency has actually been observed during offline exploration, or the
+default plan otherwise.  Because the default plan's latency is always
+observed first (it is executed as part of normal operation), a non-default
+hint is only ever returned when it was measured to be at least
+``regression_margin`` times faster -- the no-regression guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ExplorationError
+from .workload_matrix import WorkloadMatrix
+
+
+@dataclass(frozen=True)
+class CacheDecision:
+    """What the cache decided for one query lookup."""
+
+    query: int
+    hint: int
+    used_default: bool
+    expected_latency: float
+
+
+class PlanCache:
+    """Maps queries to their best verified hint, defaulting safely.
+
+    Parameters
+    ----------
+    matrix:
+        The workload matrix holding verified (observed) latencies.
+    default_hint:
+        Column index of the DBMS default plan (0 by convention).
+    regression_margin:
+        A non-default hint is served only when its observed latency is at
+        most ``regression_margin`` times the default's observed latency.
+        1.0 means "at least as fast as the default".
+    """
+
+    def __init__(
+        self,
+        matrix: WorkloadMatrix,
+        default_hint: int = 0,
+        regression_margin: float = 1.0,
+    ) -> None:
+        if not 0 <= default_hint < matrix.n_hints:
+            raise ExplorationError(
+                f"default hint {default_hint} out of range for {matrix.n_hints} hints"
+            )
+        if regression_margin <= 0:
+            raise ExplorationError("regression_margin must be > 0")
+        self.matrix = matrix
+        self.default_hint = int(default_hint)
+        self.regression_margin = float(regression_margin)
+        self._lookups = 0
+        self._non_default_served = 0
+
+    # -- lookups ----------------------------------------------------------
+    def lookup(self, query: int) -> CacheDecision:
+        """Return the hint to use for ``query`` right now."""
+        self._lookups += 1
+        default_latency = (
+            self.matrix.value(query, self.default_hint)
+            if self.matrix.is_observed(query, self.default_hint)
+            else float("inf")
+        )
+        best = self.matrix.best_hint(query)
+        if best is None or best == self.default_hint:
+            return CacheDecision(
+                query=query,
+                hint=self.default_hint,
+                used_default=True,
+                expected_latency=default_latency,
+            )
+        best_latency = self.matrix.value(query, best)
+        if best_latency <= default_latency * self.regression_margin:
+            self._non_default_served += 1
+            return CacheDecision(
+                query=query, hint=best, used_default=False, expected_latency=best_latency
+            )
+        return CacheDecision(
+            query=query,
+            hint=self.default_hint,
+            used_default=True,
+            expected_latency=default_latency,
+        )
+
+    def lookup_all(self) -> List[CacheDecision]:
+        """Decisions for every query in the workload."""
+        return [self.lookup(q) for q in range(self.matrix.n_queries)]
+
+    # -- guarantees and stats ----------------------------------------------
+    def verify_no_regression(self, true_latencies) -> bool:
+        """Check the no-regression guarantee against ground truth.
+
+        For every query, the latency of the served hint must not exceed the
+        latency of the default hint (up to the regression margin) *under the
+        observed measurements used to make the decision*.  Ground truth is
+        accepted for convenience in tests and benchmarks.
+        """
+        import numpy as np
+
+        true_latencies = np.asarray(true_latencies, dtype=float)
+        if true_latencies.shape != self.matrix.shape:
+            raise ExplorationError("true latency matrix shape mismatch")
+        for decision in self.lookup_all():
+            if decision.used_default:
+                continue
+            default_true = true_latencies[decision.query, self.default_hint]
+            served_true = true_latencies[decision.query, decision.hint]
+            # Allow the margin plus simulator noise headroom.
+            if served_true > default_true * self.regression_margin * 1.5:
+                return False
+        return True
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered with a verified non-default plan."""
+        if self._lookups == 0:
+            return 0.0
+        return self._non_default_served / self._lookups
+
+    def as_hint_map(self) -> Dict[int, int]:
+        """Mapping query index -> hint index currently served."""
+        return {d.query: d.hint for d in self.lookup_all()}

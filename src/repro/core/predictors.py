@@ -1,0 +1,163 @@
+"""Predictive models plugged into Algorithm 1.
+
+A predictor takes the current partially observed workload matrix and
+returns a fully filled estimate ``Ŵ``.  Three families:
+
+* :class:`ALSPredictor` -- the linear method (LimeQO),
+* :class:`TCNNPredictor` -- a plain tree convolutional network over plan
+  features (the "TCNN" ablation of Figure 12),
+* :class:`TransductiveTCNNPredictor` -- the TCNN augmented with query/hint
+  embedding layers (LimeQO+).
+
+Each predictor tracks the cumulative wall-clock overhead it has consumed,
+which is what Figures 7 and 13 report.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from ..config import ALSConfig, TCNNConfig
+from ..errors import ExplorationError
+from .matrix_completion import ALSCompleter
+from .workload_matrix import WorkloadMatrix
+
+
+class Predictor(ABC):
+    """Interface for models that complete the workload matrix."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self._overhead_seconds = 0.0
+
+    @property
+    def overhead_seconds(self) -> float:
+        """Cumulative model training + inference time consumed so far."""
+        return self._overhead_seconds
+
+    def predict(self, matrix: WorkloadMatrix) -> np.ndarray:
+        """Return a completed estimate ``Ŵ`` of the workload matrix."""
+        start = time.perf_counter()
+        estimate = self._predict(matrix)
+        self._overhead_seconds += time.perf_counter() - start
+        estimate = np.asarray(estimate, dtype=float)
+        if estimate.shape != matrix.shape:
+            raise ExplorationError(
+                f"predictor {self.name!r} returned shape {estimate.shape}, "
+                f"expected {matrix.shape}"
+            )
+        return estimate
+
+    @abstractmethod
+    def _predict(self, matrix: WorkloadMatrix) -> np.ndarray:
+        """Subclass hook: produce the completed matrix."""
+
+
+class ALSPredictor(Predictor):
+    """Censored ALS matrix completion (the LimeQO linear method)."""
+
+    name = "als"
+
+    def __init__(self, config: Optional[ALSConfig] = None) -> None:
+        super().__init__()
+        self.config = config or ALSConfig()
+        self._completer = ALSCompleter(self.config)
+
+    def _predict(self, matrix: WorkloadMatrix) -> np.ndarray:
+        return self._completer.complete(
+            matrix.observed_values(), matrix.mask, matrix.timeout_matrix
+        )
+
+
+class MeanPredictor(Predictor):
+    """Baseline predictor: fill with per-column means (no low-rank structure).
+
+    Not used by the paper, but handy for tests and sanity checks -- any
+    reasonable model should beat it.
+    """
+
+    name = "mean"
+
+    def _predict(self, matrix: WorkloadMatrix) -> np.ndarray:
+        values = matrix.observed_values()
+        mask = matrix.mask
+        column_counts = mask.sum(axis=0)
+        column_sums = values.sum(axis=0)
+        global_mean = values[mask > 0].mean() if mask.sum() else 1.0
+        column_means = np.where(
+            column_counts > 0, column_sums / np.maximum(column_counts, 1), global_mean
+        )
+        estimate = np.tile(column_means, (matrix.n_queries, 1))
+        return np.where(mask > 0, values, estimate)
+
+
+class TCNNPredictor(Predictor):
+    """Tree convolutional network over plan features (no embeddings).
+
+    Requires a plan-feature store (see :mod:`repro.plans.featurize`) mapping
+    each (query, hint) cell to a featurised plan tree.  Training follows the
+    paper's protocol: Adam, batch size 32, up to 100 epochs with a 1%/10-
+    epoch convergence criterion, warm-started from the previous step's
+    weights, and the censored loss for timed-out observations.
+    """
+
+    name = "tcnn"
+    _use_embeddings = False
+
+    def __init__(self, feature_store, config: Optional[TCNNConfig] = None) -> None:
+        super().__init__()
+        self.feature_store = feature_store
+        base = config or TCNNConfig()
+        if base.use_embeddings != self._use_embeddings:
+            base = TCNNConfig(
+                embedding_rank=base.embedding_rank,
+                channels=base.channels,
+                hidden_units=base.hidden_units,
+                dropout=base.dropout,
+                learning_rate=base.learning_rate,
+                batch_size=base.batch_size,
+                max_epochs=base.max_epochs,
+                convergence_window=base.convergence_window,
+                convergence_threshold=base.convergence_threshold,
+                use_embeddings=self._use_embeddings,
+                censored=base.censored,
+                seed=base.seed,
+            )
+        self.config = base
+        self._trainer = None
+
+    def _get_trainer(self, matrix: WorkloadMatrix):
+        # Imported lazily so the linear method has zero neural dependencies.
+        from ..nn.trainer import TCNNTrainer
+
+        if self._trainer is None:
+            self._trainer = TCNNTrainer(
+                feature_store=self.feature_store,
+                n_queries=matrix.n_queries,
+                n_hints=matrix.n_hints,
+                config=self.config,
+            )
+        elif self._trainer.n_queries < matrix.n_queries:
+            self._trainer.grow_queries(matrix.n_queries)
+        return self._trainer
+
+    def _predict(self, matrix: WorkloadMatrix) -> np.ndarray:
+        trainer = self._get_trainer(matrix)
+        trainer.fit(matrix)
+        predictions = trainer.predict_all(matrix)
+        # Known entries keep their observed values, mirroring Section 4.3.2.
+        values = matrix.observed_values()
+        mask = matrix.mask
+        return np.where(mask > 0, values, predictions)
+
+
+class TransductiveTCNNPredictor(TCNNPredictor):
+    """The transductive TCNN: tree convolution + query/hint embeddings."""
+
+    name = "tcnn+embeddings"
+    _use_embeddings = True

@@ -1,0 +1,96 @@
+"""Scoring and candidate selection for Algorithm 1.
+
+The expected improvement ratio (paper Equation 6) compares each query's
+current best *observed* latency against the predicted best latency from the
+completed matrix; normalising by the predicted best balances workload
+improvement against the exploration time the candidate would cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ExplorationError
+from .workload_matrix import WorkloadMatrix
+
+
+def expected_improvement_ratios(
+    matrix: WorkloadMatrix, predicted: np.ndarray
+) -> np.ndarray:
+    """Per-query expected improvement ratio ``r_i`` (Equation 6).
+
+    ``r_i = (min W~_i - min Ŵ_i) / min Ŵ_i``.  Rows with no observation yet
+    get ``+inf`` (any observation is an improvement over nothing).
+    """
+    predicted = np.asarray(predicted, dtype=float)
+    if predicted.shape != matrix.shape:
+        raise ExplorationError(
+            f"predicted matrix shape {predicted.shape} does not match workload "
+            f"matrix shape {matrix.shape}"
+        )
+    current_best = matrix.row_minima()
+    predicted_best = predicted.min(axis=1)
+    predicted_best = np.maximum(predicted_best, 1e-9)
+    ratios = (current_best - predicted_best) / predicted_best
+    ratios = np.where(np.isinf(current_best), np.inf, ratios)
+    return ratios
+
+
+def predicted_best_hints(
+    matrix: WorkloadMatrix, predicted: np.ndarray, only_unknown: bool = True
+) -> List[Optional[int]]:
+    """For each query, the hint with the lowest predicted latency.
+
+    With ``only_unknown`` the argmin is restricted to entries not yet
+    executed; returns ``None`` for rows with nothing left to explore.
+    """
+    predicted = np.asarray(predicted, dtype=float)
+    if predicted.shape != matrix.shape:
+        raise ExplorationError("predicted matrix shape mismatch")
+    choices: List[Optional[int]] = []
+    for i in range(matrix.n_queries):
+        if only_unknown:
+            candidates = matrix.unknown_in_row(i)
+            if not candidates:
+                choices.append(None)
+                continue
+            row = predicted[i, candidates]
+            choices.append(int(candidates[int(np.argmin(row))]))
+        else:
+            choices.append(int(np.argmin(predicted[i])))
+    return choices
+
+
+def select_top_m(
+    scores: Sequence[float],
+    candidates: Sequence[Tuple[int, int]],
+    m: int,
+    require_positive: bool = True,
+) -> List[Tuple[int, int]]:
+    """Pick the ``m`` candidates with the largest scores (Algorithm 1 line 7).
+
+    Parameters
+    ----------
+    scores:
+        One score per candidate (same length as ``candidates``).
+    candidates:
+        (query, hint) pairs.
+    m:
+        How many to select.
+    require_positive:
+        When True, only candidates with a strictly positive score qualify
+        (Algorithm 1 line 6 keeps only ``r_i > 0``).
+    """
+    if len(scores) != len(candidates):
+        raise ExplorationError(
+            f"got {len(scores)} scores for {len(candidates)} candidates"
+        )
+    if m < 1:
+        raise ExplorationError(f"m must be >= 1, got {m}")
+    scored = list(zip(scores, range(len(candidates))))
+    if require_positive:
+        scored = [(s, idx) for s, idx in scored if s > 0]
+    scored.sort(key=lambda pair: (-pair[0], pair[1]))
+    return [candidates[idx] for _, idx in scored[:m]]

@@ -1,0 +1,179 @@
+"""Simulated offline exploration with an exact exploration-time clock.
+
+The paper's evaluation plots total workload latency against offline
+exploration time.  The simulator replays a policy against a fully known
+ground-truth latency matrix, charging each executed cell its latency (or
+its timeout when censored), and records the workload latency after every
+step so the figures can be regenerated exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..config import ExplorationConfig
+from ..errors import ExplorationError
+from .explorer import MatrixOracle, OfflineExplorer
+from .policies import ExplorationPolicy
+from .workload_matrix import WorkloadMatrix
+
+
+@dataclass
+class ExplorationTrace:
+    """Workload latency as a step function of offline exploration time."""
+
+    times: np.ndarray
+    latencies: np.ndarray
+    overheads: np.ndarray
+    policy_name: str = ""
+    default_latency: float = float("nan")
+    optimal_latency: float = float("nan")
+
+    def latency_at(self, exploration_time: float) -> float:
+        """Workload latency after ``exploration_time`` seconds of exploration."""
+        if exploration_time < 0:
+            raise ExplorationError("exploration_time must be >= 0")
+        idx = np.searchsorted(self.times, exploration_time, side="right") - 1
+        if idx < 0:
+            return self.default_latency
+        return float(self.latencies[idx])
+
+    def overhead_at(self, exploration_time: float) -> float:
+        """Cumulative model overhead after ``exploration_time`` seconds."""
+        idx = np.searchsorted(self.times, exploration_time, side="right") - 1
+        if idx < 0:
+            return 0.0
+        return float(self.overheads[idx])
+
+    def latencies_at(self, exploration_times: Sequence[float]) -> np.ndarray:
+        """Vectorised :meth:`latency_at`."""
+        return np.array([self.latency_at(t) for t in exploration_times])
+
+    @property
+    def final_latency(self) -> float:
+        """Workload latency at the end of the trace."""
+        if len(self.latencies) == 0:
+            return self.default_latency
+        return float(self.latencies[-1])
+
+    @property
+    def total_exploration_time(self) -> float:
+        """Total offline time consumed by the trace."""
+        if len(self.times) == 0:
+            return 0.0
+        return float(self.times[-1])
+
+    def speedup_at(self, exploration_time: float) -> float:
+        """Default latency divided by the latency at ``exploration_time``."""
+        latency = self.latency_at(exploration_time)
+        return float(self.default_latency / latency) if latency > 0 else float("inf")
+
+
+class ExplorationSimulator:
+    """Runs a policy against a ground-truth matrix and records its trace.
+
+    Parameters
+    ----------
+    true_latencies:
+        Fully known ``n x k`` latency matrix (column 0 is the default hint).
+    config:
+        Exploration loop configuration shared by all runs.
+    warm_start_default:
+        When True (the paper's protocol) the default-hint column is revealed
+        before exploration starts and is *not* charged to the exploration
+        budget -- those executions happen anyway while serving the workload.
+    """
+
+    def __init__(
+        self,
+        true_latencies: np.ndarray,
+        config: Optional[ExplorationConfig] = None,
+        warm_start_default: bool = True,
+        default_hint: int = 0,
+    ) -> None:
+        self.true_latencies = np.asarray(true_latencies, dtype=float)
+        if self.true_latencies.ndim != 2:
+            raise ExplorationError("true latency matrix must be 2-D")
+        self.config = config or ExplorationConfig()
+        self.warm_start_default = bool(warm_start_default)
+        self.default_hint = int(default_hint)
+
+    # -- reference quantities ------------------------------------------------
+    @property
+    def default_latency(self) -> float:
+        """Total workload latency under the default hint (Table 1 "Default")."""
+        return float(self.true_latencies[:, self.default_hint].sum())
+
+    @property
+    def optimal_latency(self) -> float:
+        """Oracle best total latency (Table 1 "Optimal")."""
+        return float(self.true_latencies.min(axis=1).sum())
+
+    @property
+    def headroom(self) -> float:
+        """Default / Optimal ratio."""
+        return self.default_latency / self.optimal_latency
+
+    def full_exploration_time(self) -> float:
+        """Time to execute every cell exhaustively (the "12 days" number)."""
+        return float(self.true_latencies.sum())
+
+    # -- running a policy -----------------------------------------------------
+    def initial_matrix(self) -> WorkloadMatrix:
+        """A fresh workload matrix, warm-started with the default column."""
+        n, k = self.true_latencies.shape
+        matrix = WorkloadMatrix(n, k)
+        if self.warm_start_default:
+            for query in range(n):
+                matrix.observe(
+                    query, self.default_hint,
+                    float(self.true_latencies[query, self.default_hint]),
+                )
+        return matrix
+
+    def run(
+        self,
+        policy: ExplorationPolicy,
+        time_budget: float = float("inf"),
+        max_steps: Optional[int] = None,
+        matrix: Optional[WorkloadMatrix] = None,
+    ) -> ExplorationTrace:
+        """Run ``policy`` until ``time_budget`` and return its trace."""
+        matrix = matrix if matrix is not None else self.initial_matrix()
+        oracle = MatrixOracle(self.true_latencies)
+        explorer = OfflineExplorer(matrix, policy, oracle, self.config)
+        steps = explorer.run(time_budget=time_budget, max_steps=max_steps)
+
+        times = [0.0] + [s.cumulative_exploration_time for s in steps]
+        latencies = [matrix_latency_before(steps, self.default_latency)] + [
+            s.workload_latency for s in steps
+        ]
+        overheads = [0.0] + [s.overhead_seconds for s in steps]
+        return ExplorationTrace(
+            times=np.asarray(times),
+            latencies=np.asarray(latencies),
+            overheads=np.asarray(overheads),
+            policy_name=policy.name,
+            default_latency=self.default_latency,
+            optimal_latency=self.optimal_latency,
+        )
+
+    def run_many(
+        self,
+        policies: Sequence[ExplorationPolicy],
+        time_budget: float = float("inf"),
+        max_steps: Optional[int] = None,
+    ) -> List[ExplorationTrace]:
+        """Run several policies on identical starting conditions."""
+        return [
+            self.run(policy, time_budget=time_budget, max_steps=max_steps)
+            for policy in policies
+        ]
+
+
+def matrix_latency_before(steps, default_latency: float) -> float:
+    """Workload latency before any exploration happened."""
+    return float(default_latency)

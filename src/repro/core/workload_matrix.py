@@ -1,0 +1,322 @@
+"""The partially observed workload matrix (paper Figure 1, Section 4.1).
+
+Rows are queries, columns are hint sets, entries are plan latencies in
+seconds.  Three states per entry:
+
+* **unobserved** -- never executed; the stored value is ``inf``,
+* **observed** -- executed to completion; the stored value is the latency,
+* **censored** -- executed but cancelled at a timeout; the stored value is
+  the timeout, which is a *lower bound* on the true latency.
+
+Censored entries do not count as observed for the purposes of the mask
+matrix ``M`` (they must not be fit exactly), but their lower bound is
+exposed through the timeout matrix ``T`` used by the censored ALS solver
+and the censored TCNN loss.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import MatrixError
+
+
+class WorkloadMatrix:
+    """A partially observed latency matrix with censored observations."""
+
+    def __init__(
+        self,
+        n_queries: int,
+        n_hints: int,
+        query_names: Optional[Sequence[str]] = None,
+        hint_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        if n_queries < 1 or n_hints < 1:
+            raise MatrixError(
+                f"workload matrix needs positive dimensions, got {n_queries}x{n_hints}"
+            )
+        self._values = np.full((n_queries, n_hints), np.inf, dtype=float)
+        self._observed = np.zeros((n_queries, n_hints), dtype=bool)
+        self._censored = np.zeros((n_queries, n_hints), dtype=bool)
+        self._timeouts = np.zeros((n_queries, n_hints), dtype=float)
+        self.query_names = self._validate_names(query_names, n_queries, "query")
+        self.hint_names = self._validate_names(hint_names, n_hints, "hint")
+
+    @staticmethod
+    def _validate_names(names: Optional[Sequence[str]], expected: int, kind: str) -> List[str]:
+        if names is None:
+            return [f"{kind[0]}{i}" for i in range(expected)]
+        names = list(names)
+        if len(names) != expected:
+            raise MatrixError(
+                f"expected {expected} {kind} names, got {len(names)}"
+            )
+        return names
+
+    # -- shape ------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """(n_queries, n_hints)."""
+        return self._values.shape
+
+    @property
+    def n_queries(self) -> int:
+        """Number of rows (queries)."""
+        return self._values.shape[0]
+
+    @property
+    def n_hints(self) -> int:
+        """Number of columns (hint sets)."""
+        return self._values.shape[1]
+
+    # -- recording observations --------------------------------------------
+    def observe(self, query: int, hint: int, latency: float) -> None:
+        """Record a completed execution of ``latency`` seconds."""
+        self._check_indices(query, hint)
+        if not np.isfinite(latency) or latency < 0:
+            raise MatrixError(
+                f"latency must be finite and >= 0, got {latency} at ({query}, {hint})"
+            )
+        self._values[query, hint] = float(latency)
+        self._observed[query, hint] = True
+        self._censored[query, hint] = False
+        self._timeouts[query, hint] = 0.0
+
+    def observe_censored(self, query: int, hint: int, lower_bound: float) -> None:
+        """Record a timed-out execution: true latency exceeds ``lower_bound``."""
+        self._check_indices(query, hint)
+        if not np.isfinite(lower_bound) or lower_bound <= 0:
+            raise MatrixError(
+                f"censored lower bound must be finite and > 0, got {lower_bound}"
+            )
+        if self._observed[query, hint]:
+            # A completed observation is strictly more informative; keep it.
+            return
+        # Keep only the tightest (largest) lower bound seen so far.
+        self._timeouts[query, hint] = max(self._timeouts[query, hint], float(lower_bound))
+        self._censored[query, hint] = True
+        self._values[query, hint] = self._timeouts[query, hint]
+
+    # -- state queries ------------------------------------------------------
+    def is_observed(self, query: int, hint: int) -> bool:
+        """True for completed (non-censored) observations."""
+        self._check_indices(query, hint)
+        return bool(self._observed[query, hint])
+
+    def is_censored(self, query: int, hint: int) -> bool:
+        """True for timed-out observations."""
+        self._check_indices(query, hint)
+        return bool(self._censored[query, hint])
+
+    def is_known(self, query: int, hint: int) -> bool:
+        """True when the entry has been executed at all (observed or censored)."""
+        self._check_indices(query, hint)
+        return bool(self._observed[query, hint] or self._censored[query, hint])
+
+    def value(self, query: int, hint: int) -> float:
+        """Stored value: latency, censored lower bound, or ``inf``."""
+        self._check_indices(query, hint)
+        return float(self._values[query, hint])
+
+    # -- matrix views ---------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """Copy of the value matrix (``inf`` for unobserved entries)."""
+        return self._values.copy()
+
+    @property
+    def mask(self) -> np.ndarray:
+        """The mask matrix ``M``: 1 for completed observations, else 0."""
+        return self._observed.astype(float)
+
+    @property
+    def censored_mask(self) -> np.ndarray:
+        """Boolean matrix marking censored (timed-out) entries."""
+        return self._censored.copy()
+
+    @property
+    def timeout_matrix(self) -> np.ndarray:
+        """The timeout matrix ``T``: lower bounds for censored entries, else 0."""
+        return self._timeouts.copy()
+
+    def observed_values(self) -> np.ndarray:
+        """Value matrix with unobserved entries replaced by 0 (for ``M ⊙ W``)."""
+        out = np.where(self._observed, self._values, 0.0)
+        return out
+
+    # -- row statistics --------------------------------------------------------
+    def row_min(self, query: int) -> float:
+        """Best (minimum) *verified* latency currently known for ``query``.
+
+        Only completed observations participate: a censored entry records a
+        lower bound on a plan that was never allowed to finish, so it cannot
+        be served and must not lower the row minimum (Algorithm 1's timeout
+        ``alpha * Ŵ_ij`` can sit below the current best).
+        """
+        self._check_indices(query, 0)
+        observed = self._observed[query]
+        if not observed.any():
+            return float("inf")
+        return float(self._values[query][observed].min())
+
+    def row_minima(self) -> np.ndarray:
+        """Vector of :meth:`row_min` over all queries."""
+        return np.array([self.row_min(i) for i in range(self.n_queries)])
+
+    def observed_count_in_row(self, query: int) -> int:
+        """Number of completed observations in a row."""
+        self._check_indices(query, 0)
+        return int(self._observed[query].sum())
+
+    def best_hint(self, query: int) -> Optional[int]:
+        """Index of the best *completed* hint for ``query`` (None if none)."""
+        self._check_indices(query, 0)
+        if not self._observed[query].any():
+            return None
+        row = np.where(self._observed[query], self._values[query], np.inf)
+        return int(np.argmin(row))
+
+    def best_hints(self) -> List[Optional[int]]:
+        """Per-query :meth:`best_hint`."""
+        return [self.best_hint(i) for i in range(self.n_queries)]
+
+    # -- workload-level statistics (paper Equations 2 and 3) -------------------
+    def workload_latency(self) -> float:
+        """``P(W~)``: total latency of serving each query with its best hint."""
+        minima = self.row_minima()
+        return float(minima.sum())
+
+    def exploration_time(self) -> float:
+        """``T(W~)``: total offline execution time spent revealing entries.
+
+        Completed entries charge their latency; censored entries charge the
+        timeout at which they were cancelled.
+        """
+        completed = self._values[self._observed].sum()
+        censored = self._timeouts[self._censored].sum()
+        return float(completed + censored)
+
+    # -- unexplored entries -----------------------------------------------------
+    def unknown_entries(self) -> List[Tuple[int, int]]:
+        """(query, hint) pairs never executed (neither observed nor censored)."""
+        unknown = ~(self._observed | self._censored)
+        rows, cols = np.nonzero(unknown)
+        return list(zip(rows.tolist(), cols.tolist()))
+
+    def unknown_in_row(self, query: int) -> List[int]:
+        """Hint indices never executed for ``query``."""
+        self._check_indices(query, 0)
+        unknown = ~(self._observed[query] | self._censored[query])
+        return np.nonzero(unknown)[0].tolist()
+
+    def observed_fraction(self) -> float:
+        """Fraction of entries with completed observations."""
+        return float(self._observed.mean())
+
+    def known_fraction(self) -> float:
+        """Fraction of entries executed at all (observed or censored)."""
+        return float((self._observed | self._censored).mean())
+
+    # -- growth (workload shift) --------------------------------------------------
+    def add_query(self, name: Optional[str] = None) -> int:
+        """Append a new, fully unobserved row and return its index."""
+        index = self.n_queries
+        self._values = np.vstack([self._values, np.full((1, self.n_hints), np.inf)])
+        self._observed = np.vstack([self._observed, np.zeros((1, self.n_hints), bool)])
+        self._censored = np.vstack([self._censored, np.zeros((1, self.n_hints), bool)])
+        self._timeouts = np.vstack([self._timeouts, np.zeros((1, self.n_hints))])
+        self.query_names.append(name if name is not None else f"q{index}")
+        return index
+
+    def invalidate(self, queries: Optional[Iterable[int]] = None) -> None:
+        """Forget observations (all queries, or a subset) after a data shift."""
+        if queries is None:
+            targets = range(self.n_queries)
+        else:
+            targets = list(queries)
+        for q in targets:
+            self._check_indices(q, 0)
+            self._values[q, :] = np.inf
+            self._observed[q, :] = False
+            self._censored[q, :] = False
+            self._timeouts[q, :] = 0.0
+
+    # -- persistence -----------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """Serialise to plain Python / numpy structures."""
+        return {
+            "values": self._values.copy(),
+            "observed": self._observed.copy(),
+            "censored": self._censored.copy(),
+            "timeouts": self._timeouts.copy(),
+            "query_names": list(self.query_names),
+            "hint_names": list(self.hint_names),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "WorkloadMatrix":
+        """Inverse of :meth:`to_dict`."""
+        values = np.asarray(payload["values"], dtype=float)
+        matrix = cls(
+            values.shape[0],
+            values.shape[1],
+            query_names=payload.get("query_names"),
+            hint_names=payload.get("hint_names"),
+        )
+        matrix._values = values.copy()
+        matrix._observed = np.asarray(payload["observed"], dtype=bool).copy()
+        matrix._censored = np.asarray(payload["censored"], dtype=bool).copy()
+        matrix._timeouts = np.asarray(payload["timeouts"], dtype=float).copy()
+        return matrix
+
+    def save(self, path: str) -> None:
+        """Persist to an ``.npz`` file."""
+        payload = self.to_dict()
+        np.savez_compressed(
+            path,
+            values=payload["values"],
+            observed=payload["observed"],
+            censored=payload["censored"],
+            timeouts=payload["timeouts"],
+            query_names=np.array(payload["query_names"], dtype=object),
+            hint_names=np.array(payload["hint_names"], dtype=object),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "WorkloadMatrix":
+        """Load from an ``.npz`` file produced by :meth:`save`."""
+        with np.load(path, allow_pickle=True) as data:
+            return cls.from_dict(
+                {
+                    "values": data["values"],
+                    "observed": data["observed"],
+                    "censored": data["censored"],
+                    "timeouts": data["timeouts"],
+                    "query_names": list(data["query_names"]),
+                    "hint_names": list(data["hint_names"]),
+                }
+            )
+
+    def copy(self) -> "WorkloadMatrix":
+        """Deep copy."""
+        return WorkloadMatrix.from_dict(self.to_dict())
+
+    # -- misc ---------------------------------------------------------------------------
+    def _check_indices(self, query: int, hint: int) -> None:
+        if not 0 <= query < self.n_queries:
+            raise MatrixError(
+                f"query index {query} out of range [0, {self.n_queries})"
+            )
+        if not 0 <= hint < self.n_hints:
+            raise MatrixError(
+                f"hint index {hint} out of range [0, {self.n_hints})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WorkloadMatrix({self.n_queries}x{self.n_hints}, "
+            f"observed={self.observed_fraction():.1%}, "
+            f"censored={float(self._censored.mean()):.1%})"
+        )

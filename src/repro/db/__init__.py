@@ -1,0 +1,49 @@
+"""A self-contained, PostgreSQL-like database substrate.
+
+The paper measures plan latencies on PostgreSQL 16.1.  This subpackage
+replaces that environment with a simulator exposing the same interface
+surface LimeQO needs:
+
+* a :class:`~repro.db.catalog.Catalog` with tables, columns, statistics and
+  indexes (:mod:`repro.db.catalog`, :mod:`repro.db.datagen`),
+* join-graph queries (:mod:`repro.db.query`),
+* the Bao/LimeQO hint interface -- six boolean optimizer knobs yielding 49
+  valid hint sets (:mod:`repro.db.hints`),
+* a cost-based dynamic-programming plan enumerator honouring those knobs
+  (:mod:`repro.db.optimizer`) over physical operators
+  (:mod:`repro.db.operators`) with a cardinality estimator that makes
+  realistic mistakes (:mod:`repro.db.cardinality`),
+* a latency model and a simulated execution engine with timeout support
+  (:mod:`repro.db.cost_model`, :mod:`repro.db.executor`).
+"""
+
+from .catalog import Catalog, Column, Table
+from .cardinality import CardinalityEstimator
+from .cost_model import CostModel, LatencyModel
+from .executor import ExecutionResult, SimulatedExecutor
+from .hints import HintSet, all_hint_sets, default_hint_set
+from .operators import JoinOperator, PlanNode, ScanOperator
+from .optimizer import PlanEnumerator
+from .query import JoinEdge, Predicate, Query, QueryGenerator
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "Table",
+    "CardinalityEstimator",
+    "CostModel",
+    "LatencyModel",
+    "ExecutionResult",
+    "SimulatedExecutor",
+    "HintSet",
+    "all_hint_sets",
+    "default_hint_set",
+    "JoinOperator",
+    "ScanOperator",
+    "PlanNode",
+    "PlanEnumerator",
+    "Query",
+    "QueryGenerator",
+    "JoinEdge",
+    "Predicate",
+]

@@ -1,0 +1,164 @@
+"""Synthetic schema generation.
+
+The paper evaluates on four datasets (IMDb for JOB/CEB, StackExchange for
+Stack, and DSB).  We cannot ship those datasets, so this module builds
+schema *templates* whose shape (number of tables, row-count skew, indexing
+density, foreign-key topology) mimics each dataset.  Downstream code only
+consumes catalog statistics, so a statistically similar schema preserves the
+behaviour that matters: plans differ across hints and latencies have a
+low-rank structure across the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import CatalogError
+from .catalog import Catalog, Column, Table
+
+
+@dataclass(frozen=True)
+class SchemaTemplate:
+    """Parameters of a synthetic schema family."""
+
+    name: str
+    num_tables: int
+    min_rows: int
+    max_rows: int
+    columns_per_table: int = 6
+    index_probability: float = 0.5
+    fk_density: float = 1.3
+    row_skew: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.num_tables < 2:
+            raise CatalogError("a schema template needs at least 2 tables")
+        if self.min_rows < 1 or self.max_rows < self.min_rows:
+            raise CatalogError("invalid row-count range")
+        if self.columns_per_table < 2:
+            raise CatalogError("need at least 2 columns per table")
+
+
+# Templates loosely shaped after the paper's datasets (Table 1): IMDb has a
+# hub-and-spoke schema around title/cast_info; Stack has a few very large
+# tables; DSB is a snowflake with large fact tables and small dimensions.
+IMDB_TEMPLATE = SchemaTemplate(
+    name="imdb", num_tables=21, min_rows=5_000, max_rows=36_000_000,
+    columns_per_table=6, index_probability=0.6, fk_density=1.4, row_skew=1.8,
+)
+STACK_TEMPLATE = SchemaTemplate(
+    name="stack", num_tables=10, min_rows=50_000, max_rows=18_000_000,
+    columns_per_table=8, index_probability=0.5, fk_density=1.2, row_skew=1.3,
+)
+DSB_TEMPLATE = SchemaTemplate(
+    name="dsb", num_tables=24, min_rows=1_000, max_rows=288_000_000,
+    columns_per_table=10, index_probability=0.4, fk_density=1.5, row_skew=2.2,
+)
+TOY_TEMPLATE = SchemaTemplate(
+    name="toy", num_tables=6, min_rows=1_000, max_rows=1_000_000,
+    columns_per_table=4, index_probability=0.5, fk_density=1.2, row_skew=1.5,
+)
+
+TEMPLATES: Dict[str, SchemaTemplate] = {
+    t.name: t for t in (IMDB_TEMPLATE, STACK_TEMPLATE, DSB_TEMPLATE, TOY_TEMPLATE)
+}
+
+
+class SchemaGenerator:
+    """Generates a random but reproducible :class:`Catalog` from a template."""
+
+    def __init__(self, template: SchemaTemplate, seed: int = 0) -> None:
+        self.template = template
+        self._rng = np.random.default_rng(seed)
+
+    def generate(self) -> Catalog:
+        """Build the catalog: tables, columns, indexes and foreign keys."""
+        catalog = Catalog(name=self.template.name)
+        row_counts = self._sample_row_counts()
+        for i, rows in enumerate(row_counts):
+            catalog.add_table(self._make_table(f"{self.template.name}_t{i}", rows))
+        self._wire_foreign_keys(catalog)
+        return catalog
+
+    # -- internals ------------------------------------------------------
+    def _sample_row_counts(self) -> List[int]:
+        """Zipf-ish row counts between min_rows and max_rows."""
+        t = self.template
+        n = t.num_tables
+        # Rank-based power law: a handful of very large tables, many small.
+        ranks = np.arange(1, n + 1, dtype=float)
+        weights = ranks ** (-t.row_skew)
+        weights = (weights - weights.min()) / (weights.max() - weights.min() + 1e-12)
+        log_min, log_max = np.log(t.min_rows), np.log(t.max_rows)
+        log_rows = log_min + weights * (log_max - log_min)
+        rows = np.exp(log_rows)
+        # Randomise which logical table gets which size, with mild jitter.
+        self._rng.shuffle(rows)
+        jitter = self._rng.uniform(0.8, 1.2, size=n)
+        return [int(max(t.min_rows, r * j)) for r, j in zip(rows, jitter)]
+
+    def _make_table(self, name: str, rows: int) -> Table:
+        t = self.template
+        table = Table(name=name, row_count=rows)
+        table.add_column(
+            Column(name="id", dtype="int", distinct_values=max(1, rows),
+                   min_value=0.0, max_value=float(rows), indexed=True)
+        )
+        dtypes = ["int", "bigint", "float", "text", "date", "bool"]
+        for c in range(1, t.columns_per_table):
+            dtype = dtypes[c % len(dtypes)]
+            ndv = int(max(1, rows * float(self._rng.uniform(0.001, 0.5))))
+            indexed = bool(self._rng.random() < t.index_probability)
+            table.add_column(
+                Column(
+                    name=f"c{c}",
+                    dtype=dtype,
+                    distinct_values=ndv,
+                    null_fraction=float(self._rng.uniform(0.0, 0.2)),
+                    min_value=0.0,
+                    max_value=float(ndv),
+                    indexed=indexed,
+                )
+            )
+        return table
+
+    def _wire_foreign_keys(self, catalog: Catalog) -> None:
+        """Connect tables into a single join graph (spanning tree + extras)."""
+        names = catalog.table_names()
+        # Spanning tree guarantees connectivity; the hub is the largest table,
+        # mirroring IMDb's cast_info / Stack's posts fact tables.
+        sizes = {n: catalog.table(n).row_count for n in names}
+        hub = max(names, key=lambda n: sizes[n])
+        others = [n for n in names if n != hub]
+        for name in others:
+            self._add_fk(catalog, child=hub, parent=name)
+        # Extra edges up to fk_density * num_tables total.
+        target_edges = int(self.template.fk_density * len(names))
+        attempts = 0
+        while len(catalog.foreign_keys()) < target_edges and attempts < 10 * target_edges:
+            attempts += 1
+            child, parent = self._rng.choice(names, size=2, replace=False)
+            if child == parent:
+                continue
+            self._add_fk(catalog, child=str(child), parent=str(parent))
+
+    def _add_fk(self, catalog: Catalog, child: str, parent: str) -> None:
+        child_table = catalog.table(child)
+        non_id = [c for c in child_table.columns if c != "id"]
+        child_col = str(self._rng.choice(non_id)) if non_id else "id"
+        catalog.add_foreign_key(child, child_col, parent, "id")
+
+
+def make_catalog(template_name: str, seed: int = 0) -> Catalog:
+    """Build a catalog from a named template (``imdb``/``stack``/``dsb``/``toy``)."""
+    try:
+        template = TEMPLATES[template_name]
+    except KeyError:
+        raise CatalogError(
+            f"unknown schema template {template_name!r}; "
+            f"expected one of {sorted(TEMPLATES)}"
+        ) from None
+    return SchemaGenerator(template, seed=seed).generate()

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the LimeQO reproduction.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch a single base class.  Each subsystem has a dedicated subclass; the
+message always explains what constraint was violated.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """Raised when a configuration value is out of its valid domain."""
+
+
+class CatalogError(ReproError):
+    """Raised for invalid schema or catalog operations (unknown table, ...)."""
+
+
+class QueryError(ReproError):
+    """Raised when a query references unknown relations or is malformed."""
+
+
+class PlanError(ReproError):
+    """Raised for invalid query-plan trees (bad arity, unknown operator)."""
+
+
+class HintError(ReproError):
+    """Raised for invalid hint-set configurations (e.g. all joins disabled)."""
+
+
+class OptimizerError(ReproError):
+    """Raised when the plan enumerator cannot produce a plan."""
+
+
+class ExecutionError(ReproError):
+    """Raised by the simulated execution engine for invalid requests."""
+
+
+class MatrixError(ReproError):
+    """Raised for invalid workload-matrix operations (shape mismatch, ...)."""
+
+
+class CompletionError(ReproError):
+    """Raised when a matrix-completion solver cannot run (e.g. empty mask)."""
+
+
+class ExplorationError(ReproError):
+    """Raised by exploration policies and the offline explorer."""
+
+
+class NeuralNetworkError(ReproError):
+    """Raised by the numpy autograd / neural-network substrate."""
+
+
+class WorkloadError(ReproError):
+    """Raised by workload generators and loaders."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness."""

@@ -1,0 +1,58 @@
+"""The experiment harness: one function per paper table / figure.
+
+:mod:`repro.experiments.runner` provides the shared machinery (policy
+factory, checkpointed runs, repetition averaging);
+:mod:`repro.experiments.figures` exposes ``table1_*`` / ``figure5_*`` ...
+functions that return plain dictionaries of series, and
+:mod:`repro.experiments.reporting` renders them as text tables, which is
+what the benchmark harness prints.
+"""
+
+from .figures import (
+    figure5_performance,
+    figure6_ceb_curves,
+    figure7_overhead,
+    figure8_etl,
+    figure9_workload_shift,
+    figure10_incremental_drift,
+    figure11_data_shift,
+    figure12_tcnn_vs_limeqo_plus,
+    figure13_overhead_tcnn,
+    figure14_singular_values,
+    figure15_rank_ablation,
+    figure16_censored_ablation,
+    figure17_mc_comparison,
+    figure18_bayesqo,
+    table1_workload_summary,
+)
+from .runner import (
+    CheckpointedRun,
+    PolicyComparison,
+    make_policy,
+    run_policy_on_workload,
+)
+from .reporting import format_series_table, format_table
+
+__all__ = [
+    "figure5_performance",
+    "figure6_ceb_curves",
+    "figure7_overhead",
+    "figure8_etl",
+    "figure9_workload_shift",
+    "figure10_incremental_drift",
+    "figure11_data_shift",
+    "figure12_tcnn_vs_limeqo_plus",
+    "figure13_overhead_tcnn",
+    "figure14_singular_values",
+    "figure15_rank_ablation",
+    "figure16_censored_ablation",
+    "figure17_mc_comparison",
+    "figure18_bayesqo",
+    "table1_workload_summary",
+    "CheckpointedRun",
+    "PolicyComparison",
+    "make_policy",
+    "run_policy_on_workload",
+    "format_series_table",
+    "format_table",
+]

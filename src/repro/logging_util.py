@@ -1,0 +1,42 @@
+"""Logging helpers.
+
+The library never configures the root logger; it only creates namespaced
+children under ``repro``.  :func:`configure_logging` is a convenience for
+examples and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under ``repro``.
+
+    Parameters
+    ----------
+    name:
+        Dotted suffix, e.g. ``"core.explorer"``.
+    """
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` logger (idempotent).
+
+    Returns the configured root ``repro`` logger.
+    """
+    logger = logging.getLogger(_ROOT_NAME)
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        formatter = logging.Formatter(
+            "%(asctime)s %(name)s %(levelname)s %(message)s"
+        )
+        handler.setFormatter(formatter)
+        logger.addHandler(handler)
+    return logger

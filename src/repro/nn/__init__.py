@@ -1,0 +1,44 @@
+"""A small numpy-only neural-network substrate.
+
+The paper's neural method (LimeQO+) is a tree convolutional network with
+query/hint embedding layers, trained with Adam, dropout, and a censored
+loss.  PyTorch is not available in this environment, so this package
+provides the minimum viable substrate:
+
+* :mod:`repro.nn.autograd` -- reverse-mode automatic differentiation over
+  numpy arrays,
+* :mod:`repro.nn.layers` -- Linear, ReLU, Dropout, Embedding, Sequential,
+* :mod:`repro.nn.treeconv` -- binary tree convolution and dynamic pooling,
+* :mod:`repro.nn.optim` -- SGD and Adam,
+* :mod:`repro.nn.losses` -- MSE and the censored loss (paper Equation 8),
+* :mod:`repro.nn.tcnn` -- the TCNN and transductive TCNN models,
+* :mod:`repro.nn.trainer` -- the training loop with the paper's
+  convergence criterion and warm starting.
+"""
+
+from .autograd import Tensor
+from .layers import Dropout, Embedding, Linear, Module, ReLU, Sequential
+from .losses import censored_mse_loss, mse_loss
+from .optim import SGD, Adam
+from .tcnn import TCNNModel, TransductiveTCNN
+from .trainer import TCNNTrainer
+from .treeconv import BinaryTreeConv, DynamicPooling
+
+__all__ = [
+    "Tensor",
+    "Dropout",
+    "Embedding",
+    "Linear",
+    "Module",
+    "ReLU",
+    "Sequential",
+    "censored_mse_loss",
+    "mse_loss",
+    "SGD",
+    "Adam",
+    "TCNNModel",
+    "TransductiveTCNN",
+    "TCNNTrainer",
+    "BinaryTreeConv",
+    "DynamicPooling",
+]

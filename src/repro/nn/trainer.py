@@ -1,0 +1,158 @@
+"""Training loop for the (transductive) TCNN.
+
+Follows the paper's protocol (Section 5, "Techniques and tests"):
+
+* Adam with batch size 32,
+* at most 100 epochs, stopping early when the training loss decreases by
+  less than 1% over 10 epochs,
+* warm start -- each offline-exploration step re-trains the model starting
+  from the previous step's weights,
+* censored loss for timed-out observations (Equation 8).
+
+Targets are trained in ``log1p`` space so the heavy-tailed latency
+distribution does not destabilise the small network; predictions are mapped
+back with ``expm1`` and clipped to be non-negative.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import TCNNConfig
+from ..core.workload_matrix import WorkloadMatrix
+from ..errors import NeuralNetworkError
+from .losses import censored_mse_loss, mse_loss
+from .optim import Adam
+from .tcnn import TCNNModel, TransductiveTCNN
+
+
+class TCNNTrainer:
+    """Trains a TCNN (with or without embeddings) on observed matrix cells."""
+
+    def __init__(
+        self,
+        feature_store,
+        n_queries: int,
+        n_hints: int,
+        config: Optional[TCNNConfig] = None,
+    ) -> None:
+        self.feature_store = feature_store
+        self.config = config or TCNNConfig()
+        self.n_queries = int(n_queries)
+        self.n_hints = int(n_hints)
+        if self.config.use_embeddings:
+            self.model = TransductiveTCNN(self.n_queries, self.n_hints, self.config)
+        else:
+            self.model = TCNNModel(self.config)
+        self.optimizer = Adam(self.model.parameters(), lr=self.config.learning_rate)
+        self._rng = np.random.default_rng(self.config.seed)
+        self.loss_history: List[float] = []
+
+    # -- workload growth -----------------------------------------------------
+    def grow_queries(self, new_count: int) -> None:
+        """Handle new rows appearing in the workload matrix."""
+        if new_count <= self.n_queries:
+            return
+        self.n_queries = int(new_count)
+        if isinstance(self.model, TransductiveTCNN):
+            self.model.grow_queries(self.n_queries)
+
+    # -- training data ---------------------------------------------------------
+    def _training_cells(
+        self, matrix: WorkloadMatrix
+    ) -> Tuple[List[Tuple[int, int]], np.ndarray, np.ndarray]:
+        """Collect (cell, target, threshold) triples from the matrix."""
+        cells: List[Tuple[int, int]] = []
+        targets: List[float] = []
+        thresholds: List[float] = []
+        censored_mask = matrix.censored_mask
+        timeout_matrix = matrix.timeout_matrix
+        for i in range(matrix.n_queries):
+            for j in range(matrix.n_hints):
+                if matrix.is_observed(i, j):
+                    cells.append((i, j))
+                    targets.append(matrix.value(i, j))
+                    thresholds.append(0.0)
+                elif censored_mask[i, j] and self.config.censored:
+                    cells.append((i, j))
+                    targets.append(timeout_matrix[i, j])
+                    thresholds.append(timeout_matrix[i, j])
+        if not cells:
+            raise NeuralNetworkError("no observed cells to train on")
+        return cells, np.asarray(targets), np.asarray(thresholds)
+
+    # -- fitting ------------------------------------------------------------------
+    def fit(self, matrix: WorkloadMatrix) -> List[float]:
+        """Train on the matrix's observed cells; returns per-epoch losses."""
+        cells, targets, thresholds = self._training_cells(matrix)
+        log_targets = np.log1p(targets)
+        log_thresholds = np.where(thresholds > 0, np.log1p(thresholds), 0.0)
+
+        self.model.train()
+        epoch_losses: List[float] = []
+        order = np.arange(len(cells))
+        for epoch in range(self.config.max_epochs):
+            self._rng.shuffle(order)
+            batch_losses = []
+            for start in range(0, len(order), self.config.batch_size):
+                batch_idx = order[start:start + self.config.batch_size]
+                batch_cells = [cells[i] for i in batch_idx]
+                batch = self.feature_store.batch(batch_cells)
+                query_idx = np.array([c[0] for c in batch_cells])
+                hint_idx = np.array([c[1] for c in batch_cells])
+                predictions = self.model(batch, query_idx, hint_idx)
+                if self.config.censored and (log_thresholds[batch_idx] > 0).any():
+                    loss = censored_mse_loss(
+                        predictions, log_targets[batch_idx], log_thresholds[batch_idx]
+                    )
+                else:
+                    loss = mse_loss(predictions, log_targets[batch_idx])
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                batch_losses.append(loss.item())
+            epoch_loss = float(np.mean(batch_losses))
+            epoch_losses.append(epoch_loss)
+            self.loss_history.append(epoch_loss)
+            if self._converged(epoch_losses):
+                break
+        return epoch_losses
+
+    def _converged(self, losses: Sequence[float]) -> bool:
+        """Paper criterion: < ``convergence_threshold`` decrease over the window."""
+        window = self.config.convergence_window
+        if len(losses) <= window:
+            return False
+        previous = losses[-window - 1]
+        current = losses[-1]
+        if previous <= 0:
+            return True
+        improvement = (previous - current) / abs(previous)
+        return improvement < self.config.convergence_threshold
+
+    # -- inference -------------------------------------------------------------------
+    def predict_cells(self, cells: Sequence[Tuple[int, int]]) -> np.ndarray:
+        """Predicted latencies (seconds) for specific matrix cells."""
+        if not cells:
+            return np.zeros(0)
+        self.model.eval()
+        predictions = np.zeros(len(cells))
+        batch_size = max(self.config.batch_size, 64)
+        for start in range(0, len(cells), batch_size):
+            chunk = list(cells[start:start + batch_size])
+            batch = self.feature_store.batch(chunk)
+            query_idx = np.array([c[0] for c in chunk])
+            hint_idx = np.array([c[1] for c in chunk])
+            out = self.model(batch, query_idx, hint_idx)
+            predictions[start:start + len(chunk)] = np.expm1(out.numpy())
+        return np.clip(predictions, 0.0, None)
+
+    def predict_all(self, matrix: WorkloadMatrix) -> np.ndarray:
+        """Predicted latencies for every cell of the matrix."""
+        cells = [
+            (i, j) for i in range(matrix.n_queries) for j in range(matrix.n_hints)
+        ]
+        flat = self.predict_cells(cells)
+        return flat.reshape(matrix.n_queries, matrix.n_hints)

@@ -1,0 +1,219 @@
+"""Featurisation of workload-matrix cells for the neural method.
+
+A *feature store* maps a (query, hint) cell to a featurised plan tree.  The
+TCNN trainer asks the store for batches: padded arrays of node features and
+child indices (see :class:`TreeBatch`).
+
+Two stores are provided:
+
+* :class:`PlanFeatureStore` -- built from real plans produced by the
+  simulated optimizer, mirroring a Bao-style deployment where ``EXPLAIN``
+  output is featurised;
+* :class:`SyntheticPlanFeatureStore` -- when a workload exists only as a
+  latency matrix (the fast benchmark path), it derives deterministic
+  pseudo-plans from latent query/hint factors so plan features remain
+  predictive of latency, which is the property LimeQO+ exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..db.hints import HintSet
+from ..db.operators import ALL_OPERATOR_NAMES, PlanNode
+from ..db.optimizer import PlanEnumerator
+from ..db.query import Query
+from ..errors import PlanError
+from .tree import plan_to_arrays
+
+NODE_FEATURE_DIM = len(ALL_OPERATOR_NAMES) + 2
+
+
+@dataclass
+class TreeBatch:
+    """A batch of padded plan trees ready for tree convolution.
+
+    Attributes
+    ----------
+    nodes:
+        ``(batch, max_nodes, NODE_FEATURE_DIM)`` node feature tensor; row 0
+        of every sample is the all-zero null node.
+    left / right:
+        ``(batch, max_nodes)`` integer child indices into the node axis.
+    mask:
+        ``(batch, max_nodes)`` 1.0 for real nodes, 0.0 for padding and the
+        null node.
+    """
+
+    nodes: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    mask: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        """Number of plans in the batch."""
+        return self.nodes.shape[0]
+
+    @property
+    def max_nodes(self) -> int:
+        """Padded node count per plan."""
+        return self.nodes.shape[1]
+
+
+def pack_trees(trees: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]]) -> TreeBatch:
+    """Pad individual (nodes, left, right) arrays into one :class:`TreeBatch`."""
+    if not trees:
+        raise PlanError("cannot pack an empty list of trees")
+    max_nodes = max(nodes.shape[0] for nodes, _, _ in trees)
+    batch = len(trees)
+    nodes = np.zeros((batch, max_nodes, NODE_FEATURE_DIM), dtype=float)
+    left = np.zeros((batch, max_nodes), dtype=np.int64)
+    right = np.zeros((batch, max_nodes), dtype=np.int64)
+    mask = np.zeros((batch, max_nodes), dtype=float)
+    for b, (node_arr, left_arr, right_arr) in enumerate(trees):
+        count = node_arr.shape[0]
+        nodes[b, :count] = node_arr
+        left[b, :count] = left_arr
+        right[b, :count] = right_arr
+        mask[b, 1:count] = 1.0  # position 0 is the null node
+    return TreeBatch(nodes=nodes, left=left, right=right, mask=mask)
+
+
+class PlanFeaturizer:
+    """Featurises real plans from the simulated optimizer."""
+
+    def __init__(self, enumerator: PlanEnumerator) -> None:
+        self.enumerator = enumerator
+
+    def featurize(self, query: Query, hint_set: HintSet) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Plan the query under the hint set and flatten the plan to arrays."""
+        plan = self.enumerator.optimize(query, hint_set)
+        return plan_to_arrays(plan)
+
+    def featurize_plan(self, plan: PlanNode) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flatten an already-optimized plan."""
+        return plan_to_arrays(plan)
+
+
+class PlanFeatureStore:
+    """Caches featurised plans for every (query, hint) cell of a workload."""
+
+    def __init__(
+        self,
+        featurizer: PlanFeaturizer,
+        queries: Sequence[Query],
+        hint_sets: Sequence[HintSet],
+    ) -> None:
+        self.featurizer = featurizer
+        self.queries = list(queries)
+        self.hint_sets = list(hint_sets)
+        self._cache: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """(number of queries, number of hint sets)."""
+        return (len(self.queries), len(self.hint_sets))
+
+    def tree(self, query: int, hint: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Featurised plan arrays for one cell (cached)."""
+        key = (query, hint)
+        if key not in self._cache:
+            self._cache[key] = self.featurizer.featurize(
+                self.queries[query], self.hint_sets[hint]
+            )
+        return self._cache[key]
+
+    def batch(self, cells: Sequence[Tuple[int, int]]) -> TreeBatch:
+        """Featurised plans for a batch of cells."""
+        return pack_trees([self.tree(q, h) for q, h in cells])
+
+    def add_query(self, query: Query) -> int:
+        """Register a new query (workload shift) and return its row index."""
+        self.queries.append(query)
+        return len(self.queries) - 1
+
+
+class SyntheticPlanFeatureStore:
+    """Derives pseudo-plan features from latent workload factors.
+
+    Used when a workload is generated directly as a latency matrix with
+    known latent query/hint factors (see
+    :class:`repro.workloads.matrices.SyntheticWorkload`).  Each cell gets a
+    small deterministic binary tree whose node features are noisy functions
+    of the latent factors, so a tree convolution can genuinely learn to
+    predict latency from "plan features" -- the property that makes LimeQO+
+    converge faster than the linear method in the paper.
+    """
+
+    def __init__(
+        self,
+        query_factors: np.ndarray,
+        hint_factors: np.ndarray,
+        noise: float = 0.05,
+        nodes_per_plan: int = 7,
+        seed: int = 0,
+    ) -> None:
+        self.query_factors = np.asarray(query_factors, dtype=float)
+        self.hint_factors = np.asarray(hint_factors, dtype=float)
+        if self.query_factors.ndim != 2 or self.hint_factors.ndim != 2:
+            raise PlanError("latent factors must be 2-D arrays")
+        if self.query_factors.shape[1] != self.hint_factors.shape[1]:
+            raise PlanError("query and hint factors must share the latent dimension")
+        if nodes_per_plan < 1:
+            raise PlanError("nodes_per_plan must be >= 1")
+        self.noise = float(noise)
+        self.nodes_per_plan = int(nodes_per_plan)
+        self.seed = int(seed)
+        self._cache: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """(number of queries, number of hint sets)."""
+        return (self.query_factors.shape[0], self.hint_factors.shape[0])
+
+    def add_query(self, query_factor: Optional[np.ndarray] = None) -> int:
+        """Append a new query row; a random latent factor is drawn if omitted."""
+        if query_factor is None:
+            rng = np.random.default_rng(self.seed + 7919 * self.query_factors.shape[0])
+            query_factor = rng.random(self.query_factors.shape[1])
+        query_factor = np.asarray(query_factor, dtype=float).reshape(1, -1)
+        if query_factor.shape[1] != self.query_factors.shape[1]:
+            raise PlanError("new query factor has the wrong latent dimension")
+        self.query_factors = np.vstack([self.query_factors, query_factor])
+        return self.query_factors.shape[0] - 1
+
+    def tree(self, query: int, hint: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Pseudo-plan arrays for one cell (cached, deterministic)."""
+        key = (query, hint)
+        if key in self._cache:
+            return self._cache[key]
+        rng = np.random.default_rng(
+            (self.seed * 1_000_003 + query * 49_999 + hint * 101) % (2 ** 32)
+        )
+        count = self.nodes_per_plan + 1  # +1 null node
+        nodes = np.zeros((count, NODE_FEATURE_DIM), dtype=float)
+        left = np.zeros(count, dtype=np.int64)
+        right = np.zeros(count, dtype=np.int64)
+
+        signal = float(self.query_factors[query] @ self.hint_factors[hint])
+        q_norm = float(np.linalg.norm(self.query_factors[query]))
+        h_norm = float(np.linalg.norm(self.hint_factors[hint]))
+        for i in range(1, count):
+            op = int(rng.integers(0, len(ALL_OPERATOR_NAMES)))
+            nodes[i, op] = 1.0
+            nodes[i, -2] = np.log1p(abs(signal)) + rng.normal(0.0, self.noise)
+            nodes[i, -1] = np.log1p(q_norm * h_norm) + rng.normal(0.0, self.noise)
+        # Left-deep pseudo-structure: node i's left child is node i+1.
+        for i in range(1, count - 1):
+            left[i] = i + 1
+        arrays = (nodes, left, right)
+        self._cache[key] = arrays
+        return arrays
+
+    def batch(self, cells: Sequence[Tuple[int, int]]) -> TreeBatch:
+        """Featurised pseudo-plans for a batch of cells."""
+        return pack_trees([self.tree(q, h) for q, h in cells])

@@ -1,0 +1,83 @@
+"""Plan-tree binarisation and array conversion.
+
+Tree convolution expects strictly binary trees.  The plans produced by the
+simulated optimizer are already binary (scans are leaves, joins have two
+children), so binarisation is a validation / defensive-copy step here; the
+function exists because a real PostgreSQL plan can contain unary nodes
+(aggregates, sorts, gathers) that Bao splices out.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..db.operators import ALL_OPERATOR_NAMES, PlanNode
+from ..errors import PlanError
+
+OPERATOR_INDEX = {name: i for i, name in enumerate(ALL_OPERATOR_NAMES)}
+
+
+def binarize_plan(plan: PlanNode) -> PlanNode:
+    """Return a validated binary copy of ``plan``.
+
+    Unary chains (if they ever existed) would be collapsed onto their child;
+    nodes with more than two children are rejected.
+    """
+    if plan.is_scan:
+        return PlanNode(
+            operator=plan.operator,
+            alias=plan.alias,
+            table=plan.table,
+            estimated_rows=plan.estimated_rows,
+            estimated_cost=plan.estimated_cost,
+            true_rows=plan.true_rows,
+            true_cost=plan.true_cost,
+        )
+    if len(plan.children) != 2:
+        raise PlanError(
+            f"cannot binarize a node with {len(plan.children)} children"
+        )
+    return PlanNode(
+        operator=plan.operator,
+        children=[binarize_plan(plan.children[0]), binarize_plan(plan.children[1])],
+        estimated_rows=plan.estimated_rows,
+        estimated_cost=plan.estimated_cost,
+        true_rows=plan.true_rows,
+        true_cost=plan.true_cost,
+    )
+
+
+def node_feature_vector(node: PlanNode) -> np.ndarray:
+    """Featurise one node: one-hot operator + log cost + log cardinality."""
+    features = np.zeros(len(ALL_OPERATOR_NAMES) + 2, dtype=float)
+    features[OPERATOR_INDEX[node.operator]] = 1.0
+    features[-2] = np.log1p(max(node.estimated_cost, 0.0))
+    features[-1] = np.log1p(max(node.estimated_rows, 0.0))
+    return features
+
+
+def plan_to_arrays(plan: PlanNode) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten a binary plan into (nodes, left_index, right_index) arrays.
+
+    Index 0 is a reserved all-zero "null" node; real nodes start at 1 in
+    pre-order.  Missing children point at index 0, which lets the tree
+    convolution gather children without branching.
+    """
+    plan = binarize_plan(plan)
+    flat: List[PlanNode] = list(plan.iter_nodes())
+    count = len(flat) + 1  # +1 for the null node at position 0
+    feature_dim = len(ALL_OPERATOR_NAMES) + 2
+    nodes = np.zeros((count, feature_dim), dtype=float)
+    left = np.zeros(count, dtype=np.int64)
+    right = np.zeros(count, dtype=np.int64)
+
+    position = {id(node): i + 1 for i, node in enumerate(flat)}
+    for node in flat:
+        idx = position[id(node)]
+        nodes[idx] = node_feature_vector(node)
+        if node.children:
+            left[idx] = position[id(node.children[0])]
+            right[idx] = position[id(node.children[1])]
+    return nodes, left, right

@@ -1,0 +1,58 @@
+"""Persistence for synthetic workloads (``.npz`` files)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .matrices import SyntheticWorkload
+from .spec import WorkloadSpec
+
+
+def save_workload(workload: SyntheticWorkload, path) -> None:
+    """Persist a synthetic workload to ``path`` (``.npz``)."""
+    path = Path(path)
+    spec = workload.spec
+    spec_json = json.dumps(
+        {
+            "name": spec.name,
+            "n_queries": spec.n_queries,
+            "default_total": spec.default_total,
+            "optimal_total": spec.optimal_total,
+            "n_hints": spec.n_hints,
+            "dataset": spec.dataset,
+            "dataset_size_gb": spec.dataset_size_gb,
+            "schema_template": spec.schema_template,
+            "rank": spec.rank,
+        }
+    )
+    np.savez_compressed(
+        path,
+        true_latencies=workload.true_latencies,
+        query_factors=workload.query_factors,
+        hint_factors=workload.hint_factors,
+        optimizer_costs=workload.optimizer_costs,
+        seed=np.array([workload.seed]),
+        spec=np.array([spec_json], dtype=object),
+    )
+
+
+def load_workload(path) -> SyntheticWorkload:
+    """Load a synthetic workload saved by :func:`save_workload`."""
+    path = Path(path)
+    if not path.exists():
+        raise WorkloadError(f"workload file {path} does not exist")
+    with np.load(path, allow_pickle=True) as data:
+        spec_payload = json.loads(str(data["spec"][0]))
+        spec = WorkloadSpec(**spec_payload)
+        return SyntheticWorkload(
+            spec=spec,
+            true_latencies=np.asarray(data["true_latencies"], dtype=float),
+            query_factors=np.asarray(data["query_factors"], dtype=float),
+            hint_factors=np.asarray(data["hint_factors"], dtype=float),
+            optimizer_costs=np.asarray(data["optimizer_costs"], dtype=float),
+            seed=int(data["seed"][0]),
+        )

@@ -1,0 +1,191 @@
+"""Workload shift, data shift, and the ETL-query experiment.
+
+Implements the three robustness experiments of Sections 5.1, 5.3 and 5.4:
+
+* :func:`add_etl_query` -- appends a long, write-bound query whose latency
+  is essentially identical across hints (Figure 8),
+* :func:`split_for_workload_shift` -- a 70/30 split of the workload with
+  the remaining 30% arriving later (Figure 9),
+* :class:`DataDriftModel` / :func:`apply_data_shift` -- how many queries
+  change their optimal hint as the data ages, and a shifted copy of the
+  workload (Figures 10 and 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .matrices import SyntheticWorkload
+from .spec import WorkloadSpec
+
+
+def add_etl_query(
+    workload: SyntheticWorkload,
+    latency: float = 576.5,
+    jitter: float = 0.01,
+    seed: int = 0,
+) -> SyntheticWorkload:
+    """Append an ETL-style query that no hint can speed up (Section 5.1).
+
+    The paper adds a 576.5 s COPY-style query to the Stack workload; Greedy
+    keeps re-exploring it because it is the longest-running query, while
+    LimeQO's predictive model learns its row has no headroom.
+    """
+    if latency <= 0:
+        raise WorkloadError("ETL latency must be > 0")
+    rng = np.random.default_rng(seed)
+    row = latency * (1.0 + rng.uniform(-jitter, jitter, size=workload.n_hints))
+    # The default plan is (marginally) the fastest: hints cannot help.
+    row[0] = latency * (1.0 - jitter)
+    new_latencies = np.vstack([workload.true_latencies, row[None, :]])
+
+    etl_factor = np.full((1, workload.query_factors.shape[1]),
+                         np.sqrt(latency / workload.query_factors.shape[1]))
+    new_query_factors = np.vstack([workload.query_factors, etl_factor])
+    new_costs = np.vstack(
+        [workload.optimizer_costs, (row ** 0.8)[None, :] * 1e4]
+    )
+
+    spec = replace(
+        workload.spec,
+        name=f"{workload.spec.name}+etl",
+        n_queries=workload.n_queries + 1,
+        default_total=float(new_latencies[:, 0].sum()),
+        optimal_total=float(new_latencies.min(axis=1).sum()),
+    )
+    return SyntheticWorkload(
+        spec=spec,
+        true_latencies=new_latencies,
+        query_factors=new_query_factors,
+        hint_factors=workload.hint_factors.copy(),
+        optimizer_costs=new_costs,
+        seed=workload.seed,
+    )
+
+
+def split_for_workload_shift(
+    workload: SyntheticWorkload,
+    initial_fraction: float = 0.7,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Randomly split query indices into (initial, late-arriving) groups."""
+    if not 0.0 < initial_fraction < 1.0:
+        raise WorkloadError("initial_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(workload.n_queries)
+    cut = int(round(initial_fraction * workload.n_queries))
+    if cut == 0 or cut == workload.n_queries:
+        raise WorkloadError("split produced an empty group; adjust initial_fraction")
+    return np.sort(order[:cut]), np.sort(order[cut:])
+
+
+@dataclass(frozen=True)
+class DataDriftModel:
+    """Fraction of queries whose optimal hint changes after a data update.
+
+    Calibrated to Figure 10: negligible change after a day, roughly 1% after
+    a month, 5% after six months, 10% after a year, 21% after two years.
+    """
+
+    table: Dict[str, float] = None
+
+    def __post_init__(self) -> None:
+        if self.table is None:
+            object.__setattr__(
+                self,
+                "table",
+                {
+                    "1 day": 0.001,
+                    "1 week": 0.004,
+                    "2 weeks": 0.007,
+                    "1 month": 0.01,
+                    "3 months": 0.03,
+                    "6 months": 0.05,
+                    "1 year": 0.10,
+                    "2 years": 0.21,
+                },
+            )
+
+    def intervals(self):
+        """Interval labels in increasing order of duration."""
+        return list(self.table.keys())
+
+    def drift_fraction(self, interval: str) -> float:
+        """Fraction of queries with a changed optimal hint after ``interval``."""
+        try:
+            return self.table[interval]
+        except KeyError:
+            raise WorkloadError(
+                f"unknown interval {interval!r}; expected one of {list(self.table)}"
+            ) from None
+
+
+def apply_data_shift(
+    workload: SyntheticWorkload,
+    changed_fraction: float = 0.21,
+    growth_factor: float = 1.26,
+    seed: int = 0,
+    spec_name: Optional[str] = None,
+) -> SyntheticWorkload:
+    """Produce a data-shifted copy of the workload (Section 5.4).
+
+    Parameters
+    ----------
+    changed_fraction:
+        Fraction of queries whose *optimal hint* changes (21% for the
+        two-year Stack shift).
+    growth_factor:
+        Overall latency growth as the data grows (Stack's default total grew
+        from 1.16 h to 1.46 h, a factor of ~1.26).
+    """
+    if not 0.0 <= changed_fraction <= 1.0:
+        raise WorkloadError("changed_fraction must be in [0, 1]")
+    if growth_factor <= 0:
+        raise WorkloadError("growth_factor must be > 0")
+    rng = np.random.default_rng(seed)
+    new_latencies = workload.true_latencies * growth_factor
+
+    n_changed = int(round(changed_fraction * workload.n_queries))
+    if n_changed:
+        rows = rng.choice(workload.n_queries, size=n_changed, replace=False)
+        old_best = new_latencies[rows].argmin(axis=1)
+        for row, best in zip(rows, old_best):
+            # Slow the previously optimal hint down and speed another hint
+            # up, so the argmin provably moves.
+            candidates = [j for j in range(workload.n_hints) if j != best]
+            new_best = int(rng.choice(candidates))
+            new_latencies[row, best] *= float(rng.uniform(1.5, 3.0))
+            target = new_latencies[row].min() * float(rng.uniform(0.6, 0.9))
+            new_latencies[row, new_best] = max(target, 1e-4)
+
+    spec = WorkloadSpec(
+        name=spec_name or f"{workload.spec.name}-shifted",
+        n_queries=workload.n_queries,
+        default_total=float(new_latencies[:, 0].sum()),
+        optimal_total=float(new_latencies.min(axis=1).sum()),
+        n_hints=workload.spec.n_hints,
+        dataset=workload.spec.dataset,
+        schema_template=workload.spec.schema_template,
+        rank=workload.spec.rank,
+    )
+    return SyntheticWorkload(
+        spec=spec,
+        true_latencies=new_latencies,
+        query_factors=workload.query_factors * np.sqrt(growth_factor),
+        hint_factors=workload.hint_factors * np.sqrt(growth_factor),
+        optimizer_costs=workload.optimizer_costs * growth_factor,
+        seed=seed,
+    )
+
+
+def changed_optimal_fraction(
+    before: SyntheticWorkload, after: SyntheticWorkload
+) -> float:
+    """Fraction of queries whose optimal hint differs between two workloads."""
+    if before.n_queries != after.n_queries:
+        raise WorkloadError("workloads must have the same number of queries")
+    return float(np.mean(before.optimal_hints() != after.optimal_hints()))

@@ -1,0 +1,78 @@
+"""Tests for synthetic schema generation."""
+
+import pytest
+
+from repro.db.datagen import (
+    DSB_TEMPLATE,
+    IMDB_TEMPLATE,
+    STACK_TEMPLATE,
+    TOY_TEMPLATE,
+    SchemaGenerator,
+    SchemaTemplate,
+    make_catalog,
+)
+from repro.errors import CatalogError
+
+
+def test_make_catalog_known_templates():
+    for name in ("toy", "imdb", "stack", "dsb"):
+        catalog = make_catalog(name, seed=0)
+        assert len(catalog.tables()) >= 2
+        assert catalog.foreign_keys(), f"{name} should have foreign keys"
+
+
+def test_make_catalog_unknown_template():
+    with pytest.raises(CatalogError):
+        make_catalog("oracle")
+
+
+def test_catalog_is_reproducible():
+    a = make_catalog("toy", seed=42)
+    b = make_catalog("toy", seed=42)
+    assert [t.row_count for t in a.tables()] == [t.row_count for t in b.tables()]
+    assert a.joinable_pairs() == b.joinable_pairs()
+
+
+def test_different_seeds_differ():
+    a = make_catalog("toy", seed=1)
+    b = make_catalog("toy", seed=2)
+    assert [t.row_count for t in a.tables()] != [t.row_count for t in b.tables()]
+
+
+def test_row_counts_respect_template_bounds():
+    catalog = make_catalog("toy", seed=3)
+    for table in catalog.tables():
+        assert table.row_count >= TOY_TEMPLATE.min_rows
+
+
+def test_table_count_matches_template():
+    for template in (TOY_TEMPLATE, IMDB_TEMPLATE, STACK_TEMPLATE, DSB_TEMPLATE):
+        catalog = SchemaGenerator(template, seed=0).generate()
+        assert len(catalog.tables()) == template.num_tables
+
+
+def test_join_graph_is_connected():
+    catalog = make_catalog("toy", seed=0)
+    names = set(catalog.table_names())
+    seen = {next(iter(names))}
+    frontier = list(seen)
+    while frontier:
+        current = frontier.pop()
+        for neighbor in catalog.neighbors(current):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    assert seen == names
+
+
+def test_every_table_has_an_id_index():
+    catalog = make_catalog("toy", seed=0)
+    for table in catalog.tables():
+        assert table.has_index("id")
+
+
+def test_invalid_template_rejected():
+    with pytest.raises(CatalogError):
+        SchemaTemplate(name="bad", num_tables=1, min_rows=10, max_rows=100)
+    with pytest.raises(CatalogError):
+        SchemaTemplate(name="bad", num_tables=3, min_rows=100, max_rows=10)

@@ -1,0 +1,151 @@
+"""Tests for the experiment harness (runner, reporting, small figure smokes)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ALSConfig, TCNNConfig
+from repro.errors import ExperimentError
+from repro.experiments import figures
+from repro.experiments.reporting import (
+    format_series_table,
+    format_table,
+    summarize_improvement,
+)
+from repro.experiments.runner import (
+    POLICY_NAMES,
+    PolicyComparison,
+    default_checkpoints,
+    make_policy,
+    run_policy_on_workload,
+)
+
+FAST_TCNN = TCNNConfig(
+    embedding_rank=3, channels=(8,), hidden_units=(8,), dropout=0.0,
+    batch_size=32, max_epochs=2, convergence_window=2, seed=0,
+)
+
+
+def test_make_policy_builds_all_named_policies(tiny_workload):
+    for name in POLICY_NAMES + ("tcnn",):
+        policy = make_policy(name, tiny_workload, tcnn_config=FAST_TCNN)
+        assert policy is not None
+    with pytest.raises(ExperimentError):
+        make_policy("alphago", tiny_workload)
+
+
+def test_default_checkpoints_are_multiples_of_default_time(tiny_workload):
+    checkpoints = default_checkpoints(tiny_workload)
+    ratios = checkpoints / tiny_workload.default_total
+    assert np.allclose(ratios, [0.25, 0.5, 1.0, 2.0, 4.0])
+
+
+def test_run_policy_on_workload_returns_checkpointed_latencies(tiny_workload):
+    run = run_policy_on_workload(
+        tiny_workload, "random", batch_size=5, seed=0,
+        checkpoints=[0.5 * tiny_workload.default_total],
+        time_budget=0.5 * tiny_workload.default_total,
+    )
+    assert run.policy == "random"
+    assert run.latencies.shape == (1,)
+    assert run.latencies[0] <= tiny_workload.default_total
+    assert run.trace.times[0] == 0.0
+    payload = run.as_dict()
+    assert set(payload) == {"policy", "checkpoints", "latencies", "overheads"}
+
+
+def test_policy_comparison_mean_and_std(tiny_workload):
+    comparison = PolicyComparison(
+        workload=tiny_workload,
+        policies=("random", "greedy"),
+        checkpoints=[0.25 * tiny_workload.default_total],
+        batch_size=5,
+        repetitions=2,
+        max_steps=30,
+    )
+    comparison.run()
+    means = comparison.mean_latencies()
+    stds = comparison.std_latencies()
+    assert set(means) == {"random", "greedy"}
+    assert all(v.shape == (1,) for v in means.values())
+    assert all(v.shape == (1,) for v in stds.values())
+
+
+def test_policy_comparison_requires_run_before_aggregation(tiny_workload):
+    comparison = PolicyComparison(workload=tiny_workload)
+    with pytest.raises(ExperimentError):
+        comparison.mean_latencies()
+
+
+# -- reporting -----------------------------------------------------------------
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["als", 1.5], ["nuc", 2.0]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "als" in lines[2]
+
+
+def test_format_series_table():
+    text = format_series_table({"limeqo": [1.0, 2.0]}, [0.5, 1.0], x_label="t")
+    assert "limeqo" in text
+    assert "t" in text
+
+
+def test_summarize_improvement():
+    out = summarize_improvement(100.0, {"limeqo": 50.0, "random": 80.0})
+    assert out["limeqo"] == pytest.approx(50.0)
+    assert out["random"] == pytest.approx(20.0)
+
+
+# -- figure smoke tests (tiny scales) ----------------------------------------------
+def test_table1_summary_structure():
+    table = figures.table1_workload_summary(scale=0.01, seed=0)
+    assert set(table) == {"job", "ceb", "stack", "dsb"}
+    for row in table.values():
+        assert row["default_total_s"] > row["optimal_total_s"]
+        assert row["headroom"] > 1.0
+
+
+def test_figure5_smoke_linear_policies_only():
+    result = figures.figure5_performance(
+        workload_names=("ceb",), scale=0.015, policies=("random", "limeqo"),
+        batch_size=5, seed=0,
+    )
+    ceb = result["ceb"]
+    assert set(ceb["policies"]) == {"random", "limeqo"}
+    for series in ceb["policies"].values():
+        assert len(series["latencies"]) == 5
+        assert series["latencies"][-1] <= ceb["default_total"] + 1e-9
+
+
+def test_figure14_singular_values_decay():
+    result = figures.figure14_singular_values(scale=0.1, seed=0)
+    workload_sv = np.asarray(result["workload_singular_values"])
+    random_sv = np.asarray(result["random_singular_values"])
+    assert result["effective_rank_95"] <= 10
+    # The workload spectrum is far more concentrated than the random one.
+    workload_share = workload_sv[:5].sum() / workload_sv.sum()
+    random_share = random_sv[:5].sum() / random_sv.sum()
+    assert workload_share > random_share
+
+
+def test_figure17_mc_comparison_structure():
+    result = figures.figure17_mc_comparison(fill_fractions=(0.2,), scale=0.3, seed=0)
+    assert set(result) == {"nuc", "svt", "als"}
+    for series in result.values():
+        assert len(series["mse"]) == 1
+        assert len(series["seconds"]) == 1
+    assert result["als"]["seconds"][0] <= result["nuc"]["seconds"][0]
+
+
+def test_figure10_incremental_drift_matches_model():
+    result = figures.figure10_incremental_drift(scale=0.02, seed=0)
+    assert len(result["intervals"]) == len(result["expected"]) == len(result["simulated"])
+    assert result["expected"] == sorted(result["expected"])
+
+
+def test_figure18_bayesqo_limeqo_wins(job_small_workload):
+    result = figures.figure18_bayesqo(scale=1.0, per_query_budget=0.2, seed=0)
+    bayes_final = result["bayesqo"]["latencies"][-1]
+    limeqo_final = result["limeqo"]["latencies"][-1]
+    assert limeqo_final <= bayes_final * 1.05
+    assert result["total_budget"] > 0

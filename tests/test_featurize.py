@@ -1,0 +1,114 @@
+"""Tests for plan feature stores (real and synthetic)."""
+
+import numpy as np
+import pytest
+
+from repro.db.hints import all_hint_sets
+from repro.errors import PlanError
+from repro.plans.featurize import (
+    NODE_FEATURE_DIM,
+    PlanFeatureStore,
+    PlanFeaturizer,
+    SyntheticPlanFeatureStore,
+    TreeBatch,
+    pack_trees,
+)
+
+
+def test_pack_trees_pads_and_masks():
+    small = (np.ones((3, NODE_FEATURE_DIM)), np.zeros(3, dtype=int), np.zeros(3, dtype=int))
+    big = (np.ones((6, NODE_FEATURE_DIM)), np.zeros(6, dtype=int), np.zeros(6, dtype=int))
+    batch = pack_trees([small, big])
+    assert isinstance(batch, TreeBatch)
+    assert batch.batch_size == 2
+    assert batch.max_nodes == 6
+    assert batch.mask[0, 1:3].sum() == 2
+    assert batch.mask[0, 3:].sum() == 0
+    assert batch.mask[1, 1:6].sum() == 5
+    # Null node (position 0) is never marked as real.
+    assert batch.mask[:, 0].sum() == 0
+
+
+def test_pack_trees_rejects_empty_input():
+    with pytest.raises(PlanError):
+        pack_trees([])
+
+
+def test_plan_feature_store_caches_and_batches(db_workload):
+    store = PlanFeatureStore(
+        PlanFeaturizer(db_workload.enumerator),
+        db_workload.queries,
+        db_workload.hint_sets,
+    )
+    assert store.shape == (db_workload.n_queries, db_workload.n_hints)
+    first = store.tree(0, 0)
+    again = store.tree(0, 0)
+    assert first is again  # cached
+    batch = store.batch([(0, 0), (1, 1), (2, 0)])
+    assert batch.batch_size == 3
+    assert batch.nodes.shape[2] == NODE_FEATURE_DIM
+
+
+def test_plan_feature_store_differs_across_hints(db_workload):
+    store = db_workload.feature_store()
+    nodes_default, _, _ = store.tree(1, 0)
+    found_difference = False
+    for hint_index in range(1, db_workload.n_hints):
+        nodes_other, _, _ = store.tree(1, hint_index)
+        if nodes_other.shape != nodes_default.shape or not np.allclose(
+            nodes_other, nodes_default
+        ):
+            found_difference = True
+            break
+    assert found_difference
+
+
+def test_plan_feature_store_add_query(db_workload):
+    store = db_workload.feature_store()
+    new_index = store.add_query(db_workload.queries[0])
+    assert new_index == db_workload.n_queries
+    assert store.tree(new_index, 0)[0].shape[1] == NODE_FEATURE_DIM
+
+
+def test_synthetic_store_shapes_and_determinism(tiny_workload):
+    store = tiny_workload.feature_store()
+    assert store.shape == (tiny_workload.n_queries, tiny_workload.n_hints)
+    a = store.tree(3, 7)
+    b = store.tree(3, 7)
+    assert a is b
+    fresh = tiny_workload.feature_store()
+    c = fresh.tree(3, 7)
+    assert np.allclose(a[0], c[0])
+
+
+def test_synthetic_store_features_correlate_with_latency(tiny_workload):
+    store = tiny_workload.feature_store(noise=0.01)
+    latencies = []
+    signals = []
+    for i in range(0, tiny_workload.n_queries, 3):
+        for j in range(0, tiny_workload.n_hints, 7):
+            nodes, _, _ = store.tree(i, j)
+            signals.append(nodes[1:, -2].mean())
+            latencies.append(tiny_workload.true_latencies[i, j])
+    corr = np.corrcoef(signals, np.log1p(latencies))[0, 1]
+    assert corr > 0.4
+
+
+def test_synthetic_store_add_query_and_validation():
+    store = SyntheticPlanFeatureStore(np.ones((3, 2)), np.ones((4, 2)))
+    index = store.add_query()
+    assert index == 3
+    assert store.shape == (4, 4)
+    with pytest.raises(PlanError):
+        store.add_query(np.ones(5))
+    with pytest.raises(PlanError):
+        SyntheticPlanFeatureStore(np.ones((3, 2)), np.ones((4, 3)))
+    with pytest.raises(PlanError):
+        SyntheticPlanFeatureStore(np.ones(3), np.ones((4, 3)))
+
+
+def test_synthetic_store_batch(tiny_workload):
+    store = tiny_workload.feature_store()
+    batch = store.batch([(0, 0), (1, 2)])
+    assert batch.batch_size == 2
+    assert batch.nodes.shape[2] == NODE_FEATURE_DIM

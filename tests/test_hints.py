@@ -1,0 +1,81 @@
+"""Tests for the hint-set (optimizer steering) interface."""
+
+import pytest
+
+from repro.db.hints import (
+    ALL_KNOBS,
+    NUM_HINT_SETS,
+    HintSet,
+    all_hint_sets,
+    default_hint_set,
+    hint_set_by_index,
+)
+from repro.errors import HintError
+
+
+def test_there_are_exactly_49_hint_sets():
+    assert NUM_HINT_SETS == 49
+    assert len(all_hint_sets()) == 49
+
+
+def test_default_hint_set_is_first_and_all_enabled():
+    hints = all_hint_sets()
+    assert hints[0].is_default
+    assert all(getattr(hints[0], knob) for knob in ALL_KNOBS)
+
+
+def test_hint_sets_are_unique():
+    signatures = {h.as_tuple() for h in all_hint_sets()}
+    assert len(signatures) == 49
+
+
+def test_every_hint_set_allows_a_join_and_a_scan():
+    for hint in all_hint_sets():
+        assert hint.allowed_join_operators()
+        assert hint.allowed_scan_operators()
+
+
+def test_disabling_all_joins_is_rejected():
+    with pytest.raises(HintError):
+        HintSet(enable_hashjoin=False, enable_mergejoin=False, enable_nestloop=False)
+
+
+def test_disabling_all_scans_is_rejected():
+    with pytest.raises(HintError):
+        HintSet(
+            enable_indexscan=False,
+            enable_seqscan=False,
+            enable_indexonlyscan=False,
+        )
+
+
+def test_as_gucs_renders_on_off_for_every_knob():
+    gucs = HintSet(enable_hashjoin=False).as_gucs()
+    assert gucs["enable_hashjoin"] == "off"
+    assert gucs["enable_mergejoin"] == "on"
+    assert set(gucs) == set(ALL_KNOBS)
+
+
+def test_hint_set_by_index_roundtrip():
+    hints = all_hint_sets()
+    assert hint_set_by_index(0) == hints[0]
+    assert hint_set_by_index(48) == hints[48]
+
+
+def test_hint_set_by_index_out_of_range():
+    with pytest.raises(HintError):
+        hint_set_by_index(49)
+    with pytest.raises(HintError):
+        hint_set_by_index(-1)
+
+
+def test_default_hint_set_helper():
+    assert default_hint_set().is_default
+
+
+def test_allowed_operators_reflect_disabled_knobs():
+    hint = HintSet(enable_nestloop=False, enable_indexscan=False)
+    assert "nested_loop" not in hint.allowed_join_operators()
+    assert "index_scan" not in hint.allowed_scan_operators()
+    assert "hash_join" in hint.allowed_join_operators()
+    assert "seq_scan" in hint.allowed_scan_operators()

@@ -1,0 +1,80 @@
+"""Tests for the SGD and Adam optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NeuralNetworkError
+from repro.nn.autograd import parameter
+from repro.nn.optim import SGD, Adam
+
+
+def quadratic_loss(param):
+    return ((param - 3.0) * (param - 3.0)).sum()
+
+
+@pytest.mark.parametrize("optimizer_cls,kwargs", [(SGD, {"lr": 0.1}), (Adam, {"lr": 0.2})])
+def test_optimizers_minimise_a_quadratic(optimizer_cls, kwargs):
+    param = parameter(np.zeros(4))
+    optimizer = optimizer_cls([param], **kwargs)
+    for _ in range(200):
+        optimizer.zero_grad()
+        loss = quadratic_loss(param)
+        loss.backward()
+        optimizer.step()
+    assert np.allclose(param.data, 3.0, atol=0.05)
+
+
+def test_sgd_momentum_accelerates():
+    slow = parameter(np.zeros(1))
+    fast = parameter(np.zeros(1))
+    plain = SGD([slow], lr=0.01)
+    momentum = SGD([fast], lr=0.01, momentum=0.9)
+    for _ in range(50):
+        for param, optimizer in ((slow, plain), (fast, momentum)):
+            optimizer.zero_grad()
+            quadratic_loss(param).backward()
+            optimizer.step()
+    assert abs(fast.data[0] - 3.0) < abs(slow.data[0] - 3.0)
+
+
+def test_step_skips_parameters_without_gradients():
+    param = parameter(np.ones(2))
+    optimizer = Adam([param], lr=0.1)
+    optimizer.step()  # no gradient accumulated yet
+    assert np.allclose(param.data, 1.0)
+
+
+def test_adam_handles_grown_embedding_tables():
+    param = parameter(np.ones((2, 3)))
+    optimizer = Adam([param], lr=0.1)
+    quadratic_loss(param).backward()
+    optimizer.step()
+    # Simulate an embedding table growing after the optimizer was created.
+    param.data = np.vstack([param.data, np.ones((1, 3))])
+    param.zero_grad()
+    quadratic_loss(param).backward()
+    optimizer.step()
+    assert param.data.shape == (3, 3)
+
+
+def test_optimizer_validation():
+    with pytest.raises(NeuralNetworkError):
+        SGD([], lr=0.1)
+    param = parameter(np.ones(1))
+    with pytest.raises(NeuralNetworkError):
+        SGD([param], lr=0.0)
+    with pytest.raises(NeuralNetworkError):
+        SGD([param], lr=0.1, momentum=1.5)
+    with pytest.raises(NeuralNetworkError):
+        Adam([param], lr=-1.0)
+    with pytest.raises(NeuralNetworkError):
+        Adam([param], betas=(1.5, 0.9))
+
+
+def test_optimizer_ignores_non_trainable_tensors():
+    from repro.nn.autograd import Tensor
+
+    trainable = parameter(np.ones(1))
+    constant = Tensor(np.ones(1))
+    optimizer = SGD([trainable, constant], lr=0.1)
+    assert len(optimizer.parameters) == 1

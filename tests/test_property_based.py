@@ -1,0 +1,144 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.config import ALSConfig
+from repro.core.als import censored_als
+from repro.core.scoring import select_top_m
+from repro.core.workload_matrix import WorkloadMatrix
+from repro.db.hints import all_hint_sets
+from repro.nn.autograd import parameter
+
+latencies = st.floats(min_value=0.001, max_value=1e4, allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=8),
+    k=st.integers(min_value=1, max_value=8),
+    data=st.data(),
+)
+def test_workload_matrix_row_min_is_min_of_observed(n, k, data):
+    matrix = WorkloadMatrix(n, k)
+    observed = {}
+    cells = data.draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, k - 1), latencies
+            ),
+            max_size=20,
+        )
+    )
+    for i, j, value in cells:
+        matrix.observe(i, j, value)
+        observed[(i, j)] = value
+    for i in range(n):
+        row_values = [v for (qi, _), v in observed.items() if qi == i]
+        if row_values:
+            assert matrix.row_min(i) == min(row_values)
+        else:
+            assert matrix.row_min(i) == float("inf")
+    # Workload latency is the sum of row minima.
+    expected = sum(
+        min([v for (qi, _), v in observed.items() if qi == i], default=float("inf"))
+        for i in range(n)
+    )
+    assert matrix.workload_latency() == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=6),
+    k=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_workload_matrix_exploration_time_accumulates(n, k, seed):
+    rng = np.random.default_rng(seed)
+    matrix = WorkloadMatrix(n, k)
+    total = 0.0
+    for _ in range(10):
+        i, j = int(rng.integers(n)), int(rng.integers(k))
+        value = float(rng.uniform(0.1, 5.0))
+        if matrix.is_known(i, j):
+            continue
+        if rng.random() < 0.3:
+            matrix.observe_censored(i, j, value)
+        else:
+            matrix.observe(i, j, value)
+        total += value
+    assert matrix.exploration_time() == np.float64(total).item() or (
+        abs(matrix.exploration_time() - total) < 1e-9
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    rank=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=50),
+    fill=st.floats(min_value=0.3, max_value=1.0),
+)
+def test_censored_als_reproduces_observed_entries_and_stays_finite(rank, seed, fill):
+    rng = np.random.default_rng(seed)
+    truth = rng.gamma(2.0, 1.0, (12, 3)) @ rng.gamma(2.0, 1.0, (7, 3)).T
+    mask = (rng.random(truth.shape) < fill).astype(float)
+    mask[:, 0] = 1.0
+    result = censored_als(
+        np.where(mask > 0, truth, 0.0), mask,
+        config=ALSConfig(rank=rank, iterations=8, seed=seed),
+    )
+    assert np.isfinite(result.completed).all()
+    assert (result.completed >= -1e-9).all()
+    observed = mask > 0
+    assert np.allclose(result.completed[observed], truth[observed])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    scores=st.lists(st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=1, max_size=30),
+    m=st.integers(min_value=1, max_value=10),
+)
+def test_select_top_m_returns_highest_positive_scores(scores, m):
+    candidates = [(i, 0) for i in range(len(scores))]
+    picked = select_top_m(scores, candidates, m)
+    assert len(picked) <= m
+    picked_scores = [scores[c[0]] for c in picked]
+    assert all(s > 0 for s in picked_scores)
+    unpicked_positive = [
+        s for i, s in enumerate(scores) if s > 0 and (i, 0) not in picked
+    ]
+    if picked_scores and unpicked_positive:
+        assert min(picked_scores) >= max(unpicked_positive) - 1e-12
+
+
+def test_hint_space_is_exactly_the_valid_combinations():
+    hints = all_hint_sets()
+    assert len(hints) == 49
+    for hint in hints:
+        joins = (hint.enable_hashjoin, hint.enable_mergejoin, hint.enable_nestloop)
+        scans = (hint.enable_indexscan, hint.enable_seqscan, hint.enable_indexonlyscan)
+        assert any(joins) and any(scans)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    values=arrays(np.float64, (3, 4), elements=st.floats(-5, 5, allow_nan=False)),
+)
+def test_autograd_sum_gradient_is_ones(values):
+    x = parameter(values.copy())
+    x.sum().backward()
+    assert np.allclose(x.grad, np.ones_like(values))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    a=arrays(np.float64, (2, 3), elements=st.floats(-3, 3, allow_nan=False)),
+    b=arrays(np.float64, (2, 3), elements=st.floats(-3, 3, allow_nan=False)),
+)
+def test_autograd_product_rule(a, b):
+    ta, tb = parameter(a.copy()), parameter(b.copy())
+    (ta * tb).sum().backward()
+    assert np.allclose(ta.grad, b)
+    assert np.allclose(tb.grad, a)

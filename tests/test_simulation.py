@@ -1,0 +1,96 @@
+"""Tests for the exploration simulator and traces."""
+
+import numpy as np
+import pytest
+
+from repro.config import ExplorationConfig
+from repro.core.policies import GreedyPolicy, LimeQOPolicy, RandomPolicy
+from repro.core.simulation import ExplorationSimulator, ExplorationTrace
+from repro.errors import ExplorationError
+
+
+@pytest.fixture(scope="module")
+def simulator(tiny_workload):
+    return ExplorationSimulator(
+        tiny_workload.true_latencies, config=ExplorationConfig(batch_size=5, seed=0)
+    )
+
+
+def test_reference_quantities(tiny_workload, simulator):
+    assert simulator.default_latency == pytest.approx(tiny_workload.default_total)
+    assert simulator.optimal_latency == pytest.approx(tiny_workload.optimal_total)
+    assert simulator.headroom > 1.0
+    assert simulator.full_exploration_time() > simulator.default_latency
+
+
+def test_initial_matrix_reveals_default_column(simulator, tiny_workload):
+    matrix = simulator.initial_matrix()
+    assert matrix.observed_fraction() == pytest.approx(1.0 / tiny_workload.n_hints)
+    assert matrix.workload_latency() == pytest.approx(simulator.default_latency)
+
+
+def test_warm_start_can_be_disabled(tiny_workload):
+    simulator = ExplorationSimulator(
+        tiny_workload.true_latencies, warm_start_default=False
+    )
+    assert simulator.initial_matrix().observed_fraction() == 0.0
+
+
+def test_trace_structure_and_monotonicity(simulator):
+    trace = simulator.run(RandomPolicy(), time_budget=0.5 * simulator.default_latency)
+    assert isinstance(trace, ExplorationTrace)
+    assert trace.times[0] == 0.0
+    assert np.all(np.diff(trace.times) >= 0)
+    assert np.all(np.diff(trace.latencies) <= 1e-9)
+    assert trace.latencies[0] == pytest.approx(simulator.default_latency)
+    assert trace.final_latency <= simulator.default_latency
+    assert trace.final_latency >= simulator.optimal_latency - 1e-9
+
+
+def test_latency_at_is_a_step_function(simulator):
+    trace = simulator.run(RandomPolicy(), time_budget=0.3 * simulator.default_latency)
+    assert trace.latency_at(0.0) == pytest.approx(simulator.default_latency)
+    midpoint = trace.times[-1] / 2
+    assert trace.latency_at(midpoint) >= trace.final_latency
+    assert trace.latency_at(trace.times[-1] * 10) == pytest.approx(trace.final_latency)
+    with pytest.raises(ExplorationError):
+        trace.latency_at(-1.0)
+
+
+def test_latencies_at_vectorised(simulator):
+    trace = simulator.run(RandomPolicy(), time_budget=0.3 * simulator.default_latency)
+    checkpoints = [0.0, trace.times[-1] / 2, trace.times[-1]]
+    values = trace.latencies_at(checkpoints)
+    assert values.shape == (3,)
+    assert values[0] >= values[-1]
+
+
+def test_speedup_and_overhead_accessors(simulator):
+    trace = simulator.run(
+        LimeQOPolicy(), time_budget=0.5 * simulator.default_latency
+    )
+    assert trace.speedup_at(trace.times[-1]) >= 1.0
+    assert trace.overhead_at(0.0) == 0.0
+    assert trace.overhead_at(trace.times[-1]) >= 0.0
+
+
+def test_run_many_runs_all_policies(simulator):
+    traces = simulator.run_many(
+        [RandomPolicy(), GreedyPolicy()], time_budget=0.25 * simulator.default_latency
+    )
+    assert [t.policy_name for t in traces] == ["random", "greedy"]
+
+
+def test_limeqo_outperforms_random_at_large_budgets(ceb_mini_workload):
+    simulator = ExplorationSimulator(
+        ceb_mini_workload.true_latencies, config=ExplorationConfig(batch_size=10, seed=0)
+    )
+    budget = 2.0 * simulator.default_latency
+    limeqo = simulator.run(LimeQOPolicy(), time_budget=budget)
+    random = simulator.run(RandomPolicy(), time_budget=budget)
+    assert limeqo.final_latency <= random.final_latency * 1.05
+
+
+def test_invalid_latency_matrix_rejected():
+    with pytest.raises(ExplorationError):
+        ExplorationSimulator(np.ones(4))

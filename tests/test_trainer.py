@@ -1,0 +1,128 @@
+"""Tests for the TCNN training loop and predictors built on it."""
+
+import numpy as np
+import pytest
+
+from repro.config import TCNNConfig
+from repro.core.predictors import TCNNPredictor, TransductiveTCNNPredictor
+from repro.core.workload_matrix import WorkloadMatrix
+from repro.errors import NeuralNetworkError
+from repro.nn.trainer import TCNNTrainer
+
+
+def small_config(**overrides):
+    base = dict(
+        embedding_rank=3, channels=(8,), hidden_units=(8,), dropout=0.0,
+        learning_rate=3e-3, batch_size=16, max_epochs=4, convergence_window=2,
+        seed=0,
+    )
+    base.update(overrides)
+    return TCNNConfig(**base)
+
+
+def observed_matrix(workload, fill=0.25, seed=0, censor_some=False):
+    truth = workload.true_latencies
+    n, k = truth.shape
+    matrix = WorkloadMatrix(n, k)
+    rng = np.random.default_rng(seed)
+    for i in range(n):
+        matrix.observe(i, 0, float(truth[i, 0]))
+    extra = rng.random((n, k)) < fill
+    for i in range(n):
+        for j in range(1, k):
+            if extra[i, j]:
+                matrix.observe(i, j, float(truth[i, j]))
+    if censor_some:
+        for i, j in [(1, 5), (2, 9), (4, 11)]:
+            if not matrix.is_observed(i, j):
+                matrix.observe_censored(i, j, float(truth[i, j]) * 0.5)
+    return matrix
+
+
+def test_trainer_requires_observations(tiny_workload):
+    trainer = TCNNTrainer(tiny_workload.feature_store(), tiny_workload.n_queries,
+                          tiny_workload.n_hints, small_config())
+    with pytest.raises(NeuralNetworkError):
+        trainer.fit(WorkloadMatrix(tiny_workload.n_queries, tiny_workload.n_hints))
+
+
+def test_trainer_fit_reduces_loss(tiny_workload):
+    matrix = observed_matrix(tiny_workload)
+    trainer = TCNNTrainer(tiny_workload.feature_store(), tiny_workload.n_queries,
+                          tiny_workload.n_hints, small_config(max_epochs=8))
+    losses = trainer.fit(matrix)
+    assert losses[-1] <= losses[0]
+
+
+def test_trainer_predictions_have_matrix_shape_and_are_nonnegative(tiny_workload):
+    matrix = observed_matrix(tiny_workload)
+    trainer = TCNNTrainer(tiny_workload.feature_store(), tiny_workload.n_queries,
+                          tiny_workload.n_hints, small_config())
+    trainer.fit(matrix)
+    predictions = trainer.predict_all(matrix)
+    assert predictions.shape == matrix.shape
+    assert (predictions >= 0).all()
+
+
+def test_trainer_handles_censored_cells(tiny_workload):
+    matrix = observed_matrix(tiny_workload, censor_some=True)
+    trainer = TCNNTrainer(tiny_workload.feature_store(), tiny_workload.n_queries,
+                          tiny_workload.n_hints, small_config())
+    losses = trainer.fit(matrix)
+    assert np.isfinite(losses).all()
+
+
+def test_trainer_warm_start_keeps_model(tiny_workload):
+    matrix = observed_matrix(tiny_workload)
+    trainer = TCNNTrainer(tiny_workload.feature_store(), tiny_workload.n_queries,
+                          tiny_workload.n_hints, small_config())
+    trainer.fit(matrix)
+    model_before = trainer.model
+    trainer.fit(matrix)
+    assert trainer.model is model_before
+    assert len(trainer.loss_history) > 0
+
+
+def test_trainer_grow_queries(tiny_workload):
+    store = tiny_workload.feature_store()
+    trainer = TCNNTrainer(store, tiny_workload.n_queries, tiny_workload.n_hints,
+                          small_config())
+    store.add_query()
+    trainer.grow_queries(tiny_workload.n_queries + 1)
+    assert trainer.n_queries == tiny_workload.n_queries + 1
+
+
+def test_predict_cells_empty_input(tiny_workload):
+    trainer = TCNNTrainer(tiny_workload.feature_store(), tiny_workload.n_queries,
+                          tiny_workload.n_hints, small_config())
+    assert trainer.predict_cells([]).shape == (0,)
+
+
+def test_tcnn_predictor_preserves_observed_values(tiny_workload):
+    matrix = observed_matrix(tiny_workload)
+    predictor = TCNNPredictor(tiny_workload.feature_store(), small_config())
+    estimate = predictor.predict(matrix)
+    observed = matrix.mask > 0
+    assert np.allclose(estimate[observed], matrix.observed_values()[observed])
+    assert predictor.overhead_seconds > 0
+
+
+def test_transductive_predictor_learns_better_than_untrained_guess(tiny_workload):
+    matrix = observed_matrix(tiny_workload, fill=0.35)
+    predictor = TransductiveTCNNPredictor(
+        tiny_workload.feature_store(), small_config(max_epochs=10)
+    )
+    estimate = predictor.predict(matrix)
+    truth = tiny_workload.true_latencies
+    unobserved = matrix.mask == 0
+    # Correlation with the truth on unobserved cells should be clearly positive.
+    corr = np.corrcoef(np.log1p(estimate[unobserved]), np.log1p(truth[unobserved]))[0, 1]
+    assert corr > 0.3
+
+
+def test_predictor_config_use_embeddings_is_forced(tiny_workload):
+    config = small_config()  # use_embeddings defaults to True
+    plain = TCNNPredictor(tiny_workload.feature_store(), config)
+    assert plain.config.use_embeddings is False
+    transductive = TransductiveTCNNPredictor(tiny_workload.feature_store(), config)
+    assert transductive.config.use_embeddings is True

@@ -1,0 +1,153 @@
+"""Tests for the partially observed workload matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core.workload_matrix import WorkloadMatrix
+from repro.errors import MatrixError
+
+
+def test_dimensions_must_be_positive():
+    with pytest.raises(MatrixError):
+        WorkloadMatrix(0, 5)
+    with pytest.raises(MatrixError):
+        WorkloadMatrix(5, 0)
+
+
+def test_names_default_and_validate():
+    matrix = WorkloadMatrix(2, 3)
+    assert len(matrix.query_names) == 2
+    assert len(matrix.hint_names) == 3
+    with pytest.raises(MatrixError):
+        WorkloadMatrix(2, 3, query_names=["only-one"])
+
+
+def test_observe_and_value():
+    matrix = WorkloadMatrix(3, 4)
+    matrix.observe(0, 1, 2.5)
+    assert matrix.is_observed(0, 1)
+    assert matrix.value(0, 1) == 2.5
+    assert not matrix.is_observed(0, 2)
+    assert matrix.value(0, 2) == float("inf")
+
+
+def test_observe_rejects_invalid_latency():
+    matrix = WorkloadMatrix(2, 2)
+    with pytest.raises(MatrixError):
+        matrix.observe(0, 0, float("inf"))
+    with pytest.raises(MatrixError):
+        matrix.observe(0, 0, -1.0)
+
+
+def test_index_bounds_checked():
+    matrix = WorkloadMatrix(2, 2)
+    with pytest.raises(MatrixError):
+        matrix.observe(2, 0, 1.0)
+    with pytest.raises(MatrixError):
+        matrix.value(0, 5)
+
+
+def test_censored_observation_records_lower_bound():
+    matrix = WorkloadMatrix(2, 2)
+    matrix.observe_censored(0, 1, 3.0)
+    assert matrix.is_censored(0, 1)
+    assert not matrix.is_observed(0, 1)
+    assert matrix.is_known(0, 1)
+    assert matrix.value(0, 1) == 3.0
+    assert matrix.timeout_matrix[0, 1] == 3.0
+    assert matrix.mask[0, 1] == 0.0
+
+
+def test_censored_keeps_tightest_bound_and_yields_to_observation():
+    matrix = WorkloadMatrix(1, 2)
+    matrix.observe_censored(0, 0, 2.0)
+    matrix.observe_censored(0, 0, 1.0)
+    assert matrix.value(0, 0) == 2.0
+    matrix.observe(0, 0, 5.0)
+    assert matrix.is_observed(0, 0)
+    assert matrix.value(0, 0) == 5.0
+    # A later censored report cannot downgrade a completed observation.
+    matrix.observe_censored(0, 0, 9.0)
+    assert matrix.is_observed(0, 0)
+    assert matrix.value(0, 0) == 5.0
+
+
+def test_row_min_ignores_censored_entries():
+    matrix = WorkloadMatrix(1, 3)
+    matrix.observe(0, 0, 10.0)
+    matrix.observe_censored(0, 1, 2.0)
+    assert matrix.row_min(0) == 10.0
+    assert matrix.best_hint(0) == 0
+
+
+def test_row_min_inf_when_nothing_observed():
+    matrix = WorkloadMatrix(2, 2)
+    assert matrix.row_min(0) == float("inf")
+    assert matrix.best_hint(0) is None
+
+
+def test_workload_latency_and_exploration_time():
+    matrix = WorkloadMatrix(2, 3)
+    matrix.observe(0, 0, 5.0)
+    matrix.observe(0, 1, 3.0)
+    matrix.observe(1, 0, 7.0)
+    matrix.observe_censored(1, 2, 4.0)
+    assert matrix.workload_latency() == pytest.approx(3.0 + 7.0)
+    assert matrix.exploration_time() == pytest.approx(5.0 + 3.0 + 7.0 + 4.0)
+
+
+def test_unknown_entries_and_fractions():
+    matrix = WorkloadMatrix(2, 2)
+    matrix.observe(0, 0, 1.0)
+    matrix.observe_censored(1, 1, 1.0)
+    unknown = set(matrix.unknown_entries())
+    assert unknown == {(0, 1), (1, 0)}
+    assert matrix.unknown_in_row(0) == [1]
+    assert matrix.observed_fraction() == pytest.approx(0.25)
+    assert matrix.known_fraction() == pytest.approx(0.5)
+    assert matrix.observed_count_in_row(0) == 1
+
+
+def test_add_query_appends_unobserved_row():
+    matrix = WorkloadMatrix(2, 3, query_names=["a", "b"])
+    index = matrix.add_query("c")
+    assert index == 2
+    assert matrix.n_queries == 3
+    assert matrix.query_names[-1] == "c"
+    assert matrix.unknown_in_row(2) == [0, 1, 2]
+
+
+def test_invalidate_resets_rows():
+    matrix = WorkloadMatrix(2, 2)
+    matrix.observe(0, 0, 1.0)
+    matrix.observe(1, 0, 2.0)
+    matrix.invalidate([0])
+    assert not matrix.is_observed(0, 0)
+    assert matrix.is_observed(1, 0)
+    matrix.invalidate()
+    assert matrix.known_fraction() == 0.0
+
+
+def test_roundtrip_dict_and_file(tmp_path):
+    matrix = WorkloadMatrix(2, 3, query_names=["a", "b"])
+    matrix.observe(0, 0, 1.5)
+    matrix.observe_censored(1, 2, 0.5)
+    clone = WorkloadMatrix.from_dict(matrix.to_dict())
+    assert clone.value(0, 0) == 1.5
+    assert clone.is_censored(1, 2)
+
+    path = tmp_path / "matrix.npz"
+    matrix.save(str(path))
+    loaded = WorkloadMatrix.load(str(path))
+    assert loaded.query_names == ["a", "b"]
+    assert loaded.value(0, 0) == 1.5
+    assert loaded.is_censored(1, 2)
+    assert np.allclose(loaded.mask, matrix.mask)
+
+
+def test_copy_is_independent():
+    matrix = WorkloadMatrix(1, 2)
+    matrix.observe(0, 0, 1.0)
+    clone = matrix.copy()
+    clone.observe(0, 1, 2.0)
+    assert not matrix.is_observed(0, 1)
