@@ -8,6 +8,7 @@ downstream user needs most:
 * the workload matrix and censored ALS (:mod:`repro.core`),
 * exploration policies and the offline explorer / simulator,
 * the online plan cache and the :class:`~repro.core.limeqo.LimeQO` facade,
+* the batched high-throughput serving layer (:mod:`repro.serving`),
 * the simulated DBMS substrate (:mod:`repro.db`),
 * the numpy TCNN substrate (:mod:`repro.nn`),
 * the experiment harness regenerating every table and figure
@@ -49,6 +50,14 @@ from .core import (
 )
 from .db import HintSet, all_hint_sets, default_hint_set
 from .errors import ReproError
+from .serving import (
+    BatchDecisions,
+    BatchedLatencyEstimator,
+    BatchedPlanCache,
+    IncrementalALSRefresher,
+    ServingService,
+    ServingStats,
+)
 from .workloads import (
     CEB_SPEC,
     DSB_SPEC,
@@ -93,6 +102,12 @@ __all__ = [
     "all_hint_sets",
     "default_hint_set",
     "ReproError",
+    "BatchDecisions",
+    "BatchedLatencyEstimator",
+    "BatchedPlanCache",
+    "IncrementalALSRefresher",
+    "ServingService",
+    "ServingStats",
     "CEB_SPEC",
     "DSB_SPEC",
     "JOB_SPEC",

@@ -28,7 +28,7 @@ from .matrix_completion import (
     completion_mse,
     completion_rmse,
 )
-from .plan_cache import PlanCache
+from .plan_cache import CacheDecision, CacheSnapshot, PlanCache
 from .policies import (
     BaoCachePolicy,
     ExplorationPolicy,
@@ -56,6 +56,8 @@ __all__ = [
     "SVTCompleter",
     "completion_mse",
     "completion_rmse",
+    "CacheDecision",
+    "CacheSnapshot",
     "PlanCache",
     "BaoCachePolicy",
     "ExplorationPolicy",

@@ -11,7 +11,7 @@ over-estimates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -44,6 +44,11 @@ class CensoredALSResult:
     def low_rank_estimate(self) -> np.ndarray:
         """The pure ``Q Hᵀ`` product without observed-value substitution."""
         return self.query_factors @ self.hint_factors.T
+
+    @property
+    def factors(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(Q, H)`` pair, ready to pass as ``warm_start`` to the next solve."""
+        return (self.query_factors, self.hint_factors)
 
 
 def _validate_inputs(
@@ -87,6 +92,8 @@ def censored_als(
     mask: np.ndarray,
     timeouts: Optional[np.ndarray] = None,
     config: Optional[ALSConfig] = None,
+    warm_start: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    iterations: Optional[int] = None,
 ) -> CensoredALSResult:
     """Run Algorithm 2 and return the completed matrix and factors.
 
@@ -103,6 +110,16 @@ def censored_als(
     config:
         Hyper-parameters; defaults to the paper's ``r=5``, ``λ=0.2``,
         ``t=50``.
+    warm_start:
+        Optional ``(Q, H)`` factor pair from a previous solve (see
+        :attr:`CensoredALSResult.factors`).  Rows beyond the warm factors'
+        extent (queries that arrived since) keep the cold-start baseline
+        initialisation, so the workload may have grown in between.  Warm
+        starts are what make incremental serving-time refreshes cheap: a few
+        fill-in iterations recover the optimum instead of a full solve.
+    iterations:
+        Optional override of ``config.iterations`` (used by incremental
+        refreshes without rebuilding the config).
     """
     config = config or ALSConfig()
     timeouts = _validate_inputs(observed, mask, timeouts)
@@ -142,6 +159,29 @@ def censored_als(
     query_factors[:, 0] = np.maximum(row_means, 1e-9)
     hint_factors[:, 0] = np.maximum(column_ratios, 1e-9)
 
+    if warm_start is not None:
+        warm_q, warm_h = warm_start
+        warm_q = np.asarray(warm_q, dtype=float)
+        warm_h = np.asarray(warm_h, dtype=float)
+        if warm_q.ndim != 2 or warm_h.ndim != 2:
+            raise CompletionError("warm_start factors must be 2-D arrays")
+        if warm_q.shape[1] != rank or warm_h.shape[1] != rank:
+            raise CompletionError(
+                f"warm_start rank {warm_q.shape[1]}x{warm_h.shape[1]} does not "
+                f"match solver rank {rank}"
+            )
+        if warm_q.shape[0] > n or warm_h.shape[0] > k:
+            raise CompletionError(
+                "warm_start factors have more rows than the matrix; shrinkage "
+                "is not supported"
+            )
+        query_factors[: warm_q.shape[0]] = warm_q
+        hint_factors[: warm_h.shape[0]] = warm_h
+
+    n_iterations = config.iterations if iterations is None else int(iterations)
+    if n_iterations < 1:
+        raise CompletionError(f"iterations must be >= 1, got {n_iterations}")
+
     reg = config.regularization * np.eye(rank)
     objective_trace = []
 
@@ -149,7 +189,7 @@ def censored_als(
         estimate = mask * observed_filled + (1.0 - mask) * (current_q @ current_h.T)
         return _apply_censoring(estimate, timeouts)
 
-    for _ in range(config.iterations):
+    for _ in range(n_iterations):
         completed = _fill(query_factors, hint_factors)
         gram_h = hint_factors.T @ hint_factors + reg
         query_factors = completed @ hint_factors @ np.linalg.inv(gram_h)

@@ -60,6 +60,7 @@ class LimeQO:
         self._matrix: Optional[WorkloadMatrix] = None
         self._query_index: Dict[str, int] = {}
         self._explorer: Optional[OfflineExplorer] = None
+        self._plan_cache: Optional[PlanCache] = None
         if query_names:
             for name in query_names:
                 self.register_query(name)
@@ -129,17 +130,55 @@ class LimeQO:
 
     # -- online path -------------------------------------------------------------
     def plan_cache(self) -> PlanCache:
-        """The current verified plan cache."""
-        return PlanCache(self.matrix, default_hint=self.default_hint)
+        """The verified plan cache over the live matrix (cached).
+
+        The cache holds a reference to the evolving matrix, so one instance
+        stays valid across exploration; reusing it keeps its decision-array
+        snapshot warm for batched lookups.
+        """
+        matrix = self.matrix
+        if self._plan_cache is None or self._plan_cache.matrix is not matrix:
+            self._plan_cache = PlanCache(matrix, default_hint=self.default_hint)
+        return self._plan_cache
 
     def lookup(self, name: str) -> CacheDecision:
         """Online lookup: which hint should this query use right now?"""
         return self.plan_cache().lookup(self.query_index(name))
 
+    def lookup_batch(self, names: Sequence[str]) -> List[CacheDecision]:
+        """Batched online lookups (one snapshot pass, not one walk per query)."""
+        indices = [self.query_index(name) for name in names]
+        return self.plan_cache().lookup_batch(indices)
+
+    def serving_service(
+        self,
+        regression_margin: float = 1.0,
+        refresher=None,
+        estimator=None,
+    ) -> "ServingService":
+        """A batched serving front end sharing this facade's live matrix.
+
+        See :class:`repro.serving.service.ServingService`; imported lazily so
+        the facade keeps zero serving-layer dependencies until asked.
+        """
+        from ..serving.service import ServingService
+
+        return ServingService(
+            self.matrix,
+            default_hint=self.default_hint,
+            regression_margin=regression_margin,
+            refresher=refresher,
+            estimator=estimator,
+        )
+
     def recommended_hints(self) -> List[int]:
-        """Best verified hint per registered query (default when unknown)."""
-        cache = self.plan_cache()
-        return [cache.lookup(i).hint for i in range(self.num_queries)]
+        """Best verified hint per registered query (default when unknown).
+
+        Reads the vectorised snapshot rather than running counted scalar
+        lookups, so bulk introspection does not pollute the plan cache's
+        online hit-rate accounting.
+        """
+        return self.plan_cache().snapshot().hints.tolist()
 
     def workload_latency(self) -> float:
         """Current total workload latency using verified hints (Equation 2)."""

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from ..errors import ExplorationError
 from .workload_matrix import WorkloadMatrix
 
@@ -26,6 +28,72 @@ class CacheDecision:
     hint: int
     used_default: bool
     expected_latency: float
+
+
+@dataclass(frozen=True)
+class CacheSnapshot:
+    """Precomputed decision arrays for every query at one matrix version.
+
+    The scalar :meth:`PlanCache.lookup` walks one matrix row per call; a
+    snapshot evaluates the same no-regression rule for *all* rows with a
+    handful of vectorised operations and is then reused until the matrix
+    changes (detected via :attr:`WorkloadMatrix.version`).  This is the
+    kernel the batched serving layer (:mod:`repro.serving`) is built on.
+    """
+
+    version: int
+    default_hint: int
+    regression_margin: float
+    hints: np.ndarray
+    used_default: np.ndarray
+    expected_latency: np.ndarray
+
+    @property
+    def n_queries(self) -> int:
+        """Number of queries covered by the snapshot."""
+        return self.hints.shape[0]
+
+    def decision(self, query: int) -> CacheDecision:
+        """The precomputed decision for one query."""
+        return CacheDecision(
+            query=int(query),
+            hint=int(self.hints[query]),
+            used_default=bool(self.used_default[query]),
+            expected_latency=float(self.expected_latency[query]),
+        )
+
+    @classmethod
+    def compute(
+        cls,
+        matrix: WorkloadMatrix,
+        default_hint: int,
+        regression_margin: float,
+    ) -> "CacheSnapshot":
+        """Evaluate the serving rule for every query in one vectorised pass."""
+        values = matrix.values
+        observed = matrix.mask > 0
+        default_latency = np.where(
+            observed[:, default_hint], values[:, default_hint], np.inf
+        )
+        best = matrix.best_hint_array()
+        safe_best = np.maximum(best, 0)
+        best_latency = values[np.arange(matrix.n_queries), safe_best]
+        best_latency = np.where(best >= 0, best_latency, np.inf)
+        serve_best = (
+            (best >= 0)
+            & (best != default_hint)
+            & (best_latency <= default_latency * regression_margin)
+        )
+        hints = np.where(serve_best, safe_best, default_hint).astype(np.int64)
+        expected = np.where(serve_best, best_latency, default_latency)
+        return cls(
+            version=matrix.version,
+            default_hint=int(default_hint),
+            regression_margin=float(regression_margin),
+            hints=hints,
+            used_default=~serve_best,
+            expected_latency=expected,
+        )
 
 
 class PlanCache:
@@ -60,6 +128,7 @@ class PlanCache:
         self.regression_margin = float(regression_margin)
         self._lookups = 0
         self._non_default_served = 0
+        self._snapshot: Optional[CacheSnapshot] = None
 
     # -- lookups ----------------------------------------------------------
     def lookup(self, query: int) -> CacheDecision:
@@ -95,6 +164,41 @@ class PlanCache:
         """Decisions for every query in the workload."""
         return [self.lookup(q) for q in range(self.matrix.n_queries)]
 
+    # -- batched lookups ----------------------------------------------------
+    def snapshot(self, force: bool = False) -> CacheSnapshot:
+        """Precomputed decision arrays, cached until the matrix mutates."""
+        if (
+            force
+            or self._snapshot is None
+            or self._snapshot.version != self.matrix.version
+        ):
+            self._snapshot = CacheSnapshot.compute(
+                self.matrix, self.default_hint, self.regression_margin
+            )
+        return self._snapshot
+
+    @property
+    def cached_snapshot(self) -> Optional[CacheSnapshot]:
+        """The currently cached snapshot, possibly stale or None (introspection)."""
+        return self._snapshot
+
+    def lookup_batch(self, queries) -> List[CacheDecision]:
+        """Decisions for a batch of query indices via the cached snapshot.
+
+        Equivalent to ``[self.lookup(q) for q in queries]`` (including the
+        hit-rate accounting) but evaluates the serving rule once per matrix
+        version instead of once per call.
+        """
+        queries = np.asarray(queries, dtype=np.int64)
+        if queries.ndim != 1:
+            raise ExplorationError("lookup_batch expects a 1-D array of query indices")
+        if queries.size and (queries.min() < 0 or queries.max() >= self.matrix.n_queries):
+            raise ExplorationError("lookup_batch: query index out of range")
+        snap = self.snapshot()
+        self._lookups += int(queries.size)
+        self._non_default_served += int((~snap.used_default[queries]).sum())
+        return [snap.decision(q) for q in queries]
+
     # -- guarantees and stats ----------------------------------------------
     def verify_no_regression(self, true_latencies) -> bool:
         """Check the no-regression guarantee against ground truth.
@@ -104,8 +208,6 @@ class PlanCache:
         observed measurements used to make the decision*.  Ground truth is
         accepted for convenience in tests and benchmarks.
         """
-        import numpy as np
-
         true_latencies = np.asarray(true_latencies, dtype=float)
         if true_latencies.shape != self.matrix.shape:
             raise ExplorationError("true latency matrix shape mismatch")

@@ -41,6 +41,7 @@ class WorkloadMatrix:
         self._observed = np.zeros((n_queries, n_hints), dtype=bool)
         self._censored = np.zeros((n_queries, n_hints), dtype=bool)
         self._timeouts = np.zeros((n_queries, n_hints), dtype=float)
+        self._version = 0
         self.query_names = self._validate_names(query_names, n_queries, "query")
         self.hint_names = self._validate_names(hint_names, n_hints, "hint")
 
@@ -71,6 +72,16 @@ class WorkloadMatrix:
         """Number of columns (hint sets)."""
         return self._values.shape[1]
 
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every mutation.
+
+        Consumers that precompute derived arrays (the batched serving layer,
+        cached plan-cache snapshots) compare versions instead of diffing the
+        matrix to decide when to refresh.
+        """
+        return self._version
+
     # -- recording observations --------------------------------------------
     def observe(self, query: int, hint: int, latency: float) -> None:
         """Record a completed execution of ``latency`` seconds."""
@@ -83,6 +94,36 @@ class WorkloadMatrix:
         self._observed[query, hint] = True
         self._censored[query, hint] = False
         self._timeouts[query, hint] = 0.0
+        self._version += 1
+
+    def observe_batch(self, queries, hints, latencies) -> None:
+        """Record many completed executions at once (vectorised `observe`).
+
+        The serving layer feeds fresh measurements back in batches; doing the
+        bookkeeping with one fancy-indexed assignment per array keeps the
+        feedback path off the per-cell Python loop.
+        """
+        queries = np.asarray(queries, dtype=np.int64)
+        hints = np.asarray(hints, dtype=np.int64)
+        latencies = np.asarray(latencies, dtype=float)
+        if not (queries.shape == hints.shape == latencies.shape) or queries.ndim != 1:
+            raise MatrixError(
+                "observe_batch needs three 1-D arrays of equal length, got "
+                f"{queries.shape}, {hints.shape}, {latencies.shape}"
+            )
+        if queries.size == 0:
+            return
+        if queries.min() < 0 or queries.max() >= self.n_queries:
+            raise MatrixError("observe_batch: query index out of range")
+        if hints.min() < 0 or hints.max() >= self.n_hints:
+            raise MatrixError("observe_batch: hint index out of range")
+        if not np.all(np.isfinite(latencies)) or np.any(latencies < 0):
+            raise MatrixError("observe_batch: latencies must be finite and >= 0")
+        self._values[queries, hints] = latencies
+        self._observed[queries, hints] = True
+        self._censored[queries, hints] = False
+        self._timeouts[queries, hints] = 0.0
+        self._version += 1
 
     def observe_censored(self, query: int, hint: int, lower_bound: float) -> None:
         """Record a timed-out execution: true latency exceeds ``lower_bound``."""
@@ -98,6 +139,7 @@ class WorkloadMatrix:
         self._timeouts[query, hint] = max(self._timeouts[query, hint], float(lower_bound))
         self._censored[query, hint] = True
         self._values[query, hint] = self._timeouts[query, hint]
+        self._version += 1
 
     # -- state queries ------------------------------------------------------
     def is_observed(self, query: int, hint: int) -> bool:
@@ -162,8 +204,9 @@ class WorkloadMatrix:
         return float(self._values[query][observed].min())
 
     def row_minima(self) -> np.ndarray:
-        """Vector of :meth:`row_min` over all queries."""
-        return np.array([self.row_min(i) for i in range(self.n_queries)])
+        """Vector of :meth:`row_min` over all queries (vectorised)."""
+        masked = np.where(self._observed, self._values, np.inf)
+        return masked.min(axis=1)
 
     def observed_count_in_row(self, query: int) -> int:
         """Number of completed observations in a row."""
@@ -180,7 +223,20 @@ class WorkloadMatrix:
 
     def best_hints(self) -> List[Optional[int]]:
         """Per-query :meth:`best_hint`."""
-        return [self.best_hint(i) for i in range(self.n_queries)]
+        array = self.best_hint_array()
+        return [None if h < 0 else int(h) for h in array]
+
+    def best_hint_array(self) -> np.ndarray:
+        """Vectorised :meth:`best_hint`: per-query argmin over completed
+        observations, ``-1`` where a row has none.
+
+        This is the precomputed array the batched serving path is built on:
+        one call replaces ``n_queries`` per-row dictionary walks.
+        """
+        masked = np.where(self._observed, self._values, np.inf)
+        best = masked.argmin(axis=1).astype(np.int64)
+        has_observation = self._observed.any(axis=1)
+        return np.where(has_observation, best, -1)
 
     # -- workload-level statistics (paper Equations 2 and 3) -------------------
     def workload_latency(self) -> float:
@@ -228,6 +284,7 @@ class WorkloadMatrix:
         self._censored = np.vstack([self._censored, np.zeros((1, self.n_hints), bool)])
         self._timeouts = np.vstack([self._timeouts, np.zeros((1, self.n_hints))])
         self.query_names.append(name if name is not None else f"q{index}")
+        self._version += 1
         return index
 
     def invalidate(self, queries: Optional[Iterable[int]] = None) -> None:
@@ -242,6 +299,7 @@ class WorkloadMatrix:
             self._observed[q, :] = False
             self._censored[q, :] = False
             self._timeouts[q, :] = 0.0
+        self._version += 1
 
     # -- persistence -----------------------------------------------------------------
     def to_dict(self) -> Dict:
@@ -269,6 +327,7 @@ class WorkloadMatrix:
         matrix._observed = np.asarray(payload["observed"], dtype=bool).copy()
         matrix._censored = np.asarray(payload["censored"], dtype=bool).copy()
         matrix._timeouts = np.asarray(payload["timeouts"], dtype=float).copy()
+        matrix._version = 1
         return matrix
 
     def save(self, path: str) -> None:

@@ -62,3 +62,7 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness."""
+
+
+class ServingError(ReproError):
+    """Raised by the batched online serving layer."""

@@ -32,6 +32,7 @@ from .runner import (
     run_policy_on_workload,
 )
 from .reporting import format_series_table, format_table
+from .serving import explored_matrix, serving_throughput_comparison
 
 __all__ = [
     "figure5_performance",
@@ -55,4 +56,6 @@ __all__ = [
     "run_policy_on_workload",
     "format_series_table",
     "format_table",
+    "explored_matrix",
+    "serving_throughput_comparison",
 ]

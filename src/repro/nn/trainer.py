@@ -133,21 +133,40 @@ class TCNNTrainer:
         return improvement < self.config.convergence_threshold
 
     # -- inference -------------------------------------------------------------------
-    def predict_cells(self, cells: Sequence[Tuple[int, int]]) -> np.ndarray:
+    def predict_batch(self, batch, query_idx, hint_idx) -> np.ndarray:
+        """One forward pass over an already-packed padded tree batch.
+
+        This is the serving-path entry point: callers that keep a
+        pre-packed ``(batch, nodes, features)`` tensor around (see
+        :class:`repro.serving.service.BatchedLatencyEstimator`) skip the
+        per-cell featurise-and-pad work entirely and pay only for the
+        gathers and matmuls of the tree convolution.  Returns latencies in
+        seconds (``expm1`` of the model's log-space output, clipped at 0).
+        """
+        self.model.eval()
+        query_idx = np.asarray(query_idx, dtype=np.int64)
+        hint_idx = np.asarray(hint_idx, dtype=np.int64)
+        out = self.model(batch, query_idx, hint_idx)
+        return np.clip(np.expm1(out.numpy()), 0.0, None)
+
+    def predict_cells(
+        self, cells: Sequence[Tuple[int, int]], batch_size: Optional[int] = None
+    ) -> np.ndarray:
         """Predicted latencies (seconds) for specific matrix cells."""
         if not cells:
             return np.zeros(0)
-        self.model.eval()
         predictions = np.zeros(len(cells))
-        batch_size = max(self.config.batch_size, 64)
+        if batch_size is None:
+            batch_size = max(self.config.batch_size, 64)
         for start in range(0, len(cells), batch_size):
             chunk = list(cells[start:start + batch_size])
             batch = self.feature_store.batch(chunk)
             query_idx = np.array([c[0] for c in chunk])
             hint_idx = np.array([c[1] for c in chunk])
-            out = self.model(batch, query_idx, hint_idx)
-            predictions[start:start + len(chunk)] = np.expm1(out.numpy())
-        return np.clip(predictions, 0.0, None)
+            predictions[start:start + len(chunk)] = self.predict_batch(
+                batch, query_idx, hint_idx
+            )
+        return predictions
 
     def predict_all(self, matrix: WorkloadMatrix) -> np.ndarray:
         """Predicted latencies for every cell of the matrix."""

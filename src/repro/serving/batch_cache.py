@@ -1,0 +1,140 @@
+"""Vectorised, auto-refreshing view of the verified plan cache.
+
+The scalar :class:`repro.core.plan_cache.PlanCache` answers one query per
+call: it re-derives the row's best verified hint with a masked ``argmin``,
+checks the regression margin, and allocates a decision object.  That is the
+right interface for the paper's Figure 2 walkthrough, but a service fielding
+thousands of arrivals per second cannot afford a Python-level row walk per
+query.
+
+:class:`BatchedPlanCache` keeps the precomputed decision arrays of a
+:class:`~repro.core.plan_cache.CacheSnapshot` and answers whole batches with
+fancy indexing.  The snapshot is invalidated by comparing
+:attr:`WorkloadMatrix.version` -- new observations (from the offline
+explorer or the serving feedback path) are picked up on the next batch
+without any explicit cache-flush protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.plan_cache import CacheDecision, CacheSnapshot, PlanCache
+from ..core.workload_matrix import WorkloadMatrix
+from ..errors import ServingError
+
+
+@dataclass(frozen=True)
+class BatchDecisions:
+    """Decisions for one served batch, as parallel arrays.
+
+    Attributes
+    ----------
+    queries:
+        ``(batch,)`` query indices as they arrived.
+    hints:
+        ``(batch,)`` hint index to use for each arrival.
+    used_default:
+        ``(batch,)`` bool; True where the default plan was served.
+    expected_latency:
+        ``(batch,)`` observed latency of the served plan (``inf`` when the
+        default plan has never been measured).
+    predicted_latency:
+        ``(batch,)`` model-predicted latency of the served plan, or ``None``
+        when the service has no latency estimator attached.
+    """
+
+    queries: np.ndarray
+    hints: np.ndarray
+    used_default: np.ndarray
+    expected_latency: np.ndarray
+    predicted_latency: Optional[np.ndarray] = None
+
+    @property
+    def batch_size(self) -> int:
+        """Number of decisions in the batch."""
+        return int(self.queries.shape[0])
+
+    @property
+    def non_default_count(self) -> int:
+        """How many arrivals got a verified non-default plan."""
+        return int((~self.used_default).sum())
+
+    def to_decisions(self) -> List[CacheDecision]:
+        """Materialise scalar :class:`CacheDecision` objects (for tests/logs)."""
+        return [
+            CacheDecision(
+                query=int(self.queries[i]),
+                hint=int(self.hints[i]),
+                used_default=bool(self.used_default[i]),
+                expected_latency=float(self.expected_latency[i]),
+            )
+            for i in range(self.batch_size)
+        ]
+
+
+class BatchedPlanCache:
+    """Answers batches of arrivals from precomputed decision arrays.
+
+    Semantically identical to per-query :meth:`PlanCache.lookup` -- the
+    equality is asserted cell-for-cell in ``tests/test_serving.py`` -- but
+    the no-regression rule is evaluated once per matrix version instead of
+    once per arrival.
+    """
+
+    def __init__(
+        self,
+        matrix: WorkloadMatrix,
+        default_hint: int = 0,
+        regression_margin: float = 1.0,
+    ) -> None:
+        # Parameter validation is shared with the scalar cache.
+        self._scalar = PlanCache(
+            matrix, default_hint=default_hint, regression_margin=regression_margin
+        )
+        self.matrix = matrix
+        self.default_hint = self._scalar.default_hint
+        self.regression_margin = self._scalar.regression_margin
+
+    # -- snapshot management ------------------------------------------------
+    @property
+    def snapshot_version(self) -> Optional[int]:
+        """Matrix version of the current snapshot (None before first use)."""
+        snap = self._scalar.cached_snapshot
+        return None if snap is None else snap.version
+
+    def refresh(self) -> CacheSnapshot:
+        """Force-recompute the decision arrays at the current matrix version."""
+        return self._scalar.snapshot(force=True)
+
+    def _current(self) -> CacheSnapshot:
+        return self._scalar.snapshot()
+
+    # -- batched decisions --------------------------------------------------
+    def decide(self, queries) -> BatchDecisions:
+        """Decisions for a batch of query indices (the hot path)."""
+        queries = np.asarray(queries, dtype=np.int64)
+        if queries.ndim != 1:
+            raise ServingError("decide expects a 1-D array of query indices")
+        snap = self._current()
+        if queries.size and (queries.min() < 0 or queries.max() >= snap.n_queries):
+            raise ServingError(
+                f"query index out of range [0, {snap.n_queries}) in batch"
+            )
+        return BatchDecisions(
+            queries=queries,
+            hints=snap.hints[queries],
+            used_default=snap.used_default[queries],
+            expected_latency=snap.expected_latency[queries],
+        )
+
+    def decide_all(self) -> BatchDecisions:
+        """Decisions for every query in the workload."""
+        return self.decide(np.arange(self.matrix.n_queries))
+
+    def scalar_cache(self) -> PlanCache:
+        """The scalar cache sharing this instance's matrix and parameters."""
+        return self._scalar

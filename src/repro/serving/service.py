@@ -1,0 +1,202 @@
+"""The batched hint-recommendation service (Figure 2's online path, scaled).
+
+:class:`ServingService` is what a DBMS-side integration talks to under
+heavy traffic:
+
+* **serve**: batches of query arrivals are answered with one vectorised
+  pass over precomputed decision arrays (:class:`BatchedPlanCache`) instead
+  of a per-query row walk -- every answer still carries the paper's
+  no-regression guarantee;
+* **observe**: measured latencies flow back in batches
+  (:meth:`WorkloadMatrix.observe_batch`), which automatically invalidates
+  the decision arrays and, when an :class:`IncrementalALSRefresher` is
+  attached, triggers a warm-started ALS update instead of a full recompute;
+* **predict**: an optional :class:`BatchedLatencyEstimator` annotates
+  decisions with TCNN-predicted latencies using a single padded forward
+  pass per batch (optionally sliced from a pre-packed whole-plan-space
+  tensor after an explicit :meth:`~BatchedLatencyEstimator.warm_up`);
+* **report**: :meth:`stats` summarises throughput, p50/p99 decision
+  latency, and the regression-guarantee hit rate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.workload_matrix import WorkloadMatrix
+from ..errors import ServingError
+from ..plans.featurize import TreeBatch
+from .batch_cache import BatchDecisions, BatchedPlanCache
+from .refresh import IncrementalALSRefresher
+from .stats import LatencyRecorder, ServingStats
+
+
+class BatchedLatencyEstimator:
+    """Batched TCNN inference: one padded forward pass per served batch.
+
+    Each prediction call packs exactly the requested cells into one padded
+    ``(batch, nodes, features)`` tensor and runs a single forward pass
+    (:meth:`TCNNTrainer.predict_batch`); the per-cell plan arrays come out
+    of the feature store's cache, so repeat cells cost only the pack.
+
+    Operators who can afford the memory may call :meth:`warm_up` once
+    (outside any latency-sensitive window) to pre-pack the *entire* plan
+    space; batches are then answered by fancy-indexing row slices out of
+    the big tensor with no per-batch packing at all.  Warm-up is explicit
+    rather than lazy because packing every ``(query, hint)`` cell of a
+    large workload is a multi-second, memory-heavy operation that must not
+    land inside a served batch's clock window.
+    """
+
+    def __init__(self, trainer, feature_store) -> None:
+        self.trainer = trainer
+        self.feature_store = feature_store
+        self._packed: Optional[TreeBatch] = None
+        self._packed_shape: Optional[Tuple[int, int]] = None
+
+    def warm_up(self, shape: Tuple[int, int]) -> None:
+        """Pre-pack the padded tensor for every cell of a ``shape`` matrix."""
+        n_queries, n_hints = shape
+        if self._packed is None or self._packed_shape != (n_queries, n_hints):
+            cells = [(i, j) for i in range(n_queries) for j in range(n_hints)]
+            self._packed = self.feature_store.batch(cells)
+            self._packed_shape = (n_queries, n_hints)
+
+    def predict(self, queries, hints, shape: Tuple[int, int]) -> np.ndarray:
+        """Predicted latencies (seconds) for parallel query/hint arrays."""
+        queries = np.asarray(queries, dtype=np.int64)
+        hints = np.asarray(hints, dtype=np.int64)
+        if queries.shape != hints.shape or queries.ndim != 1:
+            raise ServingError("predict expects matching 1-D query/hint arrays")
+        if queries.size == 0:
+            return np.zeros(0)
+        n_queries, n_hints = shape
+        if self._packed is not None and self._packed_shape == (n_queries, n_hints):
+            flat = queries * n_hints + hints
+            batch = TreeBatch(
+                nodes=self._packed.nodes[flat],
+                left=self._packed.left[flat],
+                right=self._packed.right[flat],
+                mask=self._packed.mask[flat],
+            )
+        else:
+            batch = self.feature_store.batch(list(zip(queries.tolist(), hints.tolist())))
+        return self.trainer.predict_batch(batch, queries, hints)
+
+    def invalidate(self) -> None:
+        """Drop the warmed tensor (e.g. after the plan space changed)."""
+        self._packed = None
+        self._packed_shape = None
+
+
+class ServingService:
+    """High-throughput front end over the verified plan cache.
+
+    Parameters
+    ----------
+    matrix:
+        The live workload matrix (shared with the offline explorer).
+    default_hint / regression_margin:
+        Same meaning as for :class:`repro.core.plan_cache.PlanCache`.
+    refresher:
+        Optional :class:`IncrementalALSRefresher`; when present, feedback
+        batches trigger a warm-started completion refresh.
+    estimator:
+        Optional :class:`BatchedLatencyEstimator` used to annotate
+        decisions with model-predicted latencies.
+    clock:
+        Injectable time source for the latency telemetry (tests use a fake).
+    """
+
+    def __init__(
+        self,
+        matrix: WorkloadMatrix,
+        default_hint: int = 0,
+        regression_margin: float = 1.0,
+        refresher: Optional[IncrementalALSRefresher] = None,
+        estimator: Optional[BatchedLatencyEstimator] = None,
+        clock=time.perf_counter,
+    ) -> None:
+        self.matrix = matrix
+        self.cache = BatchedPlanCache(
+            matrix, default_hint=default_hint, regression_margin=regression_margin
+        )
+        self.refresher = refresher
+        self.estimator = estimator
+        self._clock = clock
+        self._recorder = LatencyRecorder()
+
+    # -- the hot path ---------------------------------------------------------
+    def serve_batch(self, queries, annotate: bool = False) -> BatchDecisions:
+        """Answer a batch of query arrivals.
+
+        Returns one decision per arrival, in arrival order.  With
+        ``annotate=True`` (and an estimator attached) the decisions carry
+        TCNN-predicted latencies for the served plans.
+        """
+        start = self._clock()
+        decisions = self.cache.decide(queries)
+        if annotate:
+            if self.estimator is None:
+                raise ServingError("annotate=True requires a latency estimator")
+            predicted = self.estimator.predict(
+                decisions.queries, decisions.hints, self.matrix.shape
+            )
+            decisions = BatchDecisions(
+                queries=decisions.queries,
+                hints=decisions.hints,
+                used_default=decisions.used_default,
+                expected_latency=decisions.expected_latency,
+                predicted_latency=predicted,
+            )
+        elapsed = self._clock() - start
+        self._recorder.record(
+            decisions.batch_size, elapsed, decisions.non_default_count
+        )
+        return decisions
+
+    def serve_all(self, annotate: bool = False) -> BatchDecisions:
+        """Answer every query in the workload as one batch."""
+        return self.serve_batch(np.arange(self.matrix.n_queries), annotate=annotate)
+
+    # -- the feedback path -----------------------------------------------------
+    def observe_batch(
+        self,
+        queries: Sequence[int],
+        hints: Sequence[int],
+        latencies: Sequence[float],
+        refresh: bool = True,
+    ) -> None:
+        """Feed measured latencies back into the serving matrix.
+
+        The decision arrays refresh automatically on the next batch (the
+        matrix version changed).  With ``refresh=True`` and a refresher
+        attached, the low-rank completion is warm-started forward as well.
+        """
+        version_before = self.matrix.version
+        self.matrix.observe_batch(queries, hints, latencies)
+        if (
+            refresh
+            and self.refresher is not None
+            and self.matrix.version != version_before
+        ):
+            self.refresher.refresh(self.matrix)
+            self._recorder.record_refresh()
+
+    def completed_matrix(self) -> np.ndarray:
+        """Up-to-date completed latency estimate (requires a refresher)."""
+        if self.refresher is None:
+            raise ServingError("completed_matrix requires an ALS refresher")
+        return self.refresher.completed_matrix(self.matrix)
+
+    # -- telemetry ----------------------------------------------------------------
+    def stats(self) -> ServingStats:
+        """Throughput / latency / hit-rate report over everything served."""
+        return self._recorder.report()
+
+    def reset_stats(self) -> None:
+        """Zero the telemetry (the decision arrays are untouched)."""
+        self._recorder.reset()

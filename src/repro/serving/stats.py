@@ -1,0 +1,159 @@
+"""Serving-side telemetry: throughput, decision-latency percentiles, hit rate.
+
+A production hint-recommendation service lives or dies by two numbers: how
+many decisions per second it sustains, and how long a single arrival waits
+for its decision.  :class:`LatencyRecorder` accumulates per-batch timings as
+they happen (cheap appends on the hot path); :class:`ServingStats` is the
+immutable report derived from them on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """A point-in-time report over everything the service has served.
+
+    Attributes
+    ----------
+    decisions / batches:
+        Total queries answered and the number of batches they arrived in.
+    wall_seconds:
+        Total decision time (excludes caller think-time between batches).
+    throughput_qps:
+        ``decisions / wall_seconds``.
+    p50_latency_s / p99_latency_s:
+        Percentiles of the *per-decision* latency: each decision in a batch
+        is charged the batch's wall time divided by its size, which is the
+        amortised latency an arrival experiences under batched execution.
+    non_default_fraction:
+        Fraction of decisions answered with a verified non-default plan --
+        the regression-guarantee hit rate (every non-default answer carries
+        the no-regression guarantee).
+    refreshes:
+        How many model/cache refreshes ran (incremental ALS updates).
+    """
+
+    decisions: int
+    batches: int
+    wall_seconds: float
+    throughput_qps: float
+    p50_latency_s: float
+    p99_latency_s: float
+    non_default_fraction: float
+    refreshes: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain dictionary for dashboards and log lines."""
+        return {
+            "decisions": float(self.decisions),
+            "batches": float(self.batches),
+            "wall_seconds": self.wall_seconds,
+            "throughput_qps": self.throughput_qps,
+            "p50_latency_s": self.p50_latency_s,
+            "p99_latency_s": self.p99_latency_s,
+            "non_default_fraction": self.non_default_fraction,
+            "refreshes": float(self.refreshes),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"ServingStats({self.decisions} decisions in {self.batches} batches, "
+            f"{self.throughput_qps:,.0f} qps, "
+            f"p50={self.p50_latency_s * 1e6:.1f}us, "
+            f"p99={self.p99_latency_s * 1e6:.1f}us, "
+            f"hit_rate={self.non_default_fraction:.1%}, "
+            f"refreshes={self.refreshes})"
+        )
+
+
+def _weighted_percentiles(values, weights, qs) -> np.ndarray:
+    """Percentiles of a population where ``values[i]`` occurs ``weights[i]``
+    times, matching ``np.percentile`` (linear interpolation) on the expanded
+    array without allocating it.
+    """
+    values = np.asarray(values, dtype=float)
+    weights = np.asarray(weights, dtype=np.int64)
+    order = np.argsort(values)
+    values = values[order]
+    # cumulative[i] is the 1-based end index of group i in the sorted
+    # expanded array; searchsorted recovers the group holding any index.
+    cumulative = np.cumsum(weights[order])
+    total = int(cumulative[-1])
+    out = np.empty(len(qs))
+    for i, q in enumerate(qs):
+        position = q / 100.0 * (total - 1)
+        low = int(np.floor(position))
+        high = int(np.ceil(position))
+        value_low = values[np.searchsorted(cumulative, low + 1)]
+        value_high = values[np.searchsorted(cumulative, high + 1)]
+        out[i] = value_low + (position - low) * (value_high - value_low)
+    return out
+
+
+class LatencyRecorder:
+    """Accumulates batch timings; hot-path cost is three list appends."""
+
+    def __init__(self) -> None:
+        self._batch_sizes: List[int] = []
+        self._batch_seconds: List[float] = []
+        self._non_default: List[int] = []
+        self._refreshes = 0
+
+    def record(self, batch_size: int, seconds: float, non_default: int) -> None:
+        """Log one served batch."""
+        self._batch_sizes.append(int(batch_size))
+        self._batch_seconds.append(float(seconds))
+        self._non_default.append(int(non_default))
+
+    def record_refresh(self) -> None:
+        """Log one model/cache refresh."""
+        self._refreshes += 1
+
+    def report(self) -> ServingStats:
+        """Fold the accumulated timings into a :class:`ServingStats`."""
+        sizes = np.asarray(self._batch_sizes, dtype=float)
+        seconds = np.asarray(self._batch_seconds, dtype=float)
+        decisions = int(sizes.sum())
+        wall = float(seconds.sum())
+        if decisions == 0:
+            return ServingStats(
+                decisions=0,
+                batches=0,
+                wall_seconds=0.0,
+                throughput_qps=0.0,
+                p50_latency_s=0.0,
+                p99_latency_s=0.0,
+                non_default_fraction=0.0,
+                refreshes=self._refreshes,
+            )
+        # Each decision in a batch experiences the batch's amortised latency,
+        # so the percentiles are over a weighted population (one value per
+        # batch, weighted by its size) -- computed without materialising the
+        # O(decisions) expanded array.
+        nonempty = sizes > 0
+        p50, p99 = _weighted_percentiles(
+            seconds[nonempty] / sizes[nonempty], sizes[nonempty], [50.0, 99.0]
+        )
+        return ServingStats(
+            decisions=decisions,
+            batches=len(self._batch_sizes),
+            wall_seconds=wall,
+            throughput_qps=decisions / wall if wall > 0 else float("inf"),
+            p50_latency_s=float(p50),
+            p99_latency_s=float(p99),
+            non_default_fraction=float(sum(self._non_default)) / decisions,
+            refreshes=self._refreshes,
+        )
+
+    def reset(self) -> None:
+        """Drop all accumulated timings (refresh count included)."""
+        self._batch_sizes.clear()
+        self._batch_seconds.clear()
+        self._non_default.clear()
+        self._refreshes = 0

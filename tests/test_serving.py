@@ -1,0 +1,398 @@
+"""Tests for the batched online serving subsystem (:mod:`repro.serving`).
+
+The two load-bearing properties:
+
+* batched decisions equal per-query :class:`PlanCache` decisions
+  cell-for-cell (same hints, same default flags, same expected latencies),
+  including after incremental updates and for censored / unobserved edge
+  cases;
+* a warm-started incremental ALS refresh converges to (at least) the same
+  masked objective as a cold solve on the updated matrix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ALSConfig
+from repro.core.als import censored_als
+from repro.core.plan_cache import CacheSnapshot, PlanCache
+from repro.core.workload_matrix import WorkloadMatrix
+from repro.errors import CompletionError, MatrixError, ServingError
+from repro.experiments.serving import explored_matrix, serving_throughput_comparison
+from repro.serving import (
+    BatchedPlanCache,
+    IncrementalALSRefresher,
+    LatencyRecorder,
+    ServingService,
+)
+from repro.serving.service import BatchedLatencyEstimator
+
+
+def make_matrix():
+    matrix = WorkloadMatrix(5, 4)
+    # Query 0: default 10s, a verified better hint at 4s.
+    matrix.observe(0, 0, 10.0)
+    matrix.observe(0, 2, 4.0)
+    # Query 1: only the default observed.
+    matrix.observe(1, 0, 5.0)
+    # Query 2: a worse alternative observed.
+    matrix.observe(2, 0, 2.0)
+    matrix.observe(2, 3, 6.0)
+    # Query 3: nothing observed at all (novel query).
+    # Query 4: default unobserved but an alternative verified.
+    matrix.observe(4, 1, 3.0)
+    # A censored entry must never be served.
+    matrix.observe_censored(0, 3, 1.0)
+    return matrix
+
+
+def assert_batch_matches_scalar(matrix, **kwargs):
+    scalar = PlanCache(matrix, **kwargs)
+    batched = BatchedPlanCache(matrix, **kwargs)
+    decisions = batched.decide_all()
+    expected = scalar.lookup_all()
+    assert decisions.hints.tolist() == [d.hint for d in expected]
+    assert decisions.used_default.tolist() == [d.used_default for d in expected]
+    np.testing.assert_allclose(
+        decisions.expected_latency, [d.expected_latency for d in expected]
+    )
+    # Materialised scalar objects are equal too (dataclass equality).
+    assert decisions.to_decisions() == expected
+
+
+class TestBatchedEqualsScalar:
+    def test_cell_for_cell_on_handcrafted_matrix(self):
+        assert_batch_matches_scalar(make_matrix())
+
+    @pytest.mark.parametrize("margin", [0.5, 0.9, 1.0, 2.0])
+    def test_cell_for_cell_across_margins(self, margin):
+        assert_batch_matches_scalar(make_matrix(), regression_margin=margin)
+
+    def test_cell_for_cell_nonzero_default_hint(self):
+        assert_batch_matches_scalar(make_matrix(), default_hint=2)
+
+    def test_cell_for_cell_on_partially_observed_workload(
+        self, partially_observed_matrix
+    ):
+        assert_batch_matches_scalar(partially_observed_matrix)
+        assert_batch_matches_scalar(
+            partially_observed_matrix, regression_margin=0.8
+        )
+
+    def test_lookup_batch_matches_lookup(self, partially_observed_matrix):
+        cache = PlanCache(partially_observed_matrix)
+        queries = np.arange(partially_observed_matrix.n_queries)
+        batched = cache.lookup_batch(queries)
+        fresh = PlanCache(partially_observed_matrix)
+        assert batched == [fresh.lookup(int(q)) for q in queries]
+        # Hit-rate accounting matches the scalar path's.
+        assert cache.hit_rate() == pytest.approx(fresh.hit_rate())
+
+    def test_arbitrary_arrival_order_and_repeats(self):
+        matrix = make_matrix()
+        batched = BatchedPlanCache(matrix)
+        scalar = PlanCache(matrix)
+        arrivals = np.array([2, 0, 0, 4, 3, 1, 0])
+        decisions = batched.decide(arrivals)
+        assert decisions.hints.tolist() == [
+            scalar.lookup(int(q)).hint for q in arrivals
+        ]
+        assert decisions.batch_size == arrivals.size
+
+
+class TestSnapshotInvalidation:
+    def test_new_observation_invalidates_snapshot(self):
+        matrix = make_matrix()
+        batched = BatchedPlanCache(matrix)
+        before = batched.decide([1])
+        assert before.hints[0] == 0  # only the default observed
+        matrix.observe(1, 2, 1.0)  # a verified 5x improvement appears
+        after = batched.decide([1])
+        assert after.hints[0] == 2
+        assert after.expected_latency[0] == pytest.approx(1.0)
+
+    def test_snapshot_reused_while_matrix_unchanged(self):
+        matrix = make_matrix()
+        batched = BatchedPlanCache(matrix)
+        batched.decide([0])
+        version = batched.snapshot_version
+        batched.decide([1, 2])
+        assert batched.snapshot_version == version
+
+    def test_version_counter_tracks_mutations(self):
+        matrix = WorkloadMatrix(2, 2)
+        v0 = matrix.version
+        matrix.observe(0, 0, 1.0)
+        matrix.observe_censored(0, 1, 2.0)
+        matrix.observe_batch([1], [0], [3.0])
+        matrix.add_query()
+        matrix.invalidate([0])
+        assert matrix.version == v0 + 5
+
+    def test_snapshot_compute_matches_cache(self):
+        matrix = make_matrix()
+        snap = CacheSnapshot.compute(matrix, default_hint=0, regression_margin=1.0)
+        assert snap.version == matrix.version
+        assert snap.decision(0).hint == 2
+
+
+class TestObserveBatch:
+    def test_matches_scalar_observe(self):
+        a, b = WorkloadMatrix(3, 3), WorkloadMatrix(3, 3)
+        queries, hints, latencies = [0, 1, 2], [1, 0, 2], [1.0, 2.0, 3.0]
+        for q, h, lat in zip(queries, hints, latencies):
+            a.observe(q, h, lat)
+        b.observe_batch(queries, hints, latencies)
+        np.testing.assert_array_equal(a.mask, b.mask)
+        np.testing.assert_array_equal(a.observed_values(), b.observed_values())
+
+    def test_clears_censoring(self):
+        matrix = WorkloadMatrix(2, 2)
+        matrix.observe_censored(0, 1, 4.0)
+        matrix.observe_batch([0], [1], [6.0])
+        assert matrix.is_observed(0, 1)
+        assert not matrix.is_censored(0, 1)
+        assert matrix.timeout_matrix[0, 1] == 0.0
+
+    def test_rejects_bad_input(self):
+        matrix = WorkloadMatrix(2, 2)
+        with pytest.raises(MatrixError):
+            matrix.observe_batch([0], [0, 1], [1.0])
+        with pytest.raises(MatrixError):
+            matrix.observe_batch([5], [0], [1.0])
+        with pytest.raises(MatrixError):
+            matrix.observe_batch([0], [0], [float("inf")])
+
+
+class TestVectorizedMatrixViews:
+    def test_best_hint_array_matches_best_hint(self, partially_observed_matrix):
+        matrix = partially_observed_matrix
+        array = matrix.best_hint_array()
+        for q in range(matrix.n_queries):
+            scalar = matrix.best_hint(q)
+            assert (scalar if scalar is not None else -1) == array[q]
+
+    def test_row_minima_matches_row_min(self, partially_observed_matrix):
+        matrix = partially_observed_matrix
+        np.testing.assert_allclose(
+            matrix.row_minima(),
+            [matrix.row_min(q) for q in range(matrix.n_queries)],
+        )
+
+    def test_unobserved_row_yields_minus_one_and_inf(self):
+        matrix = make_matrix()
+        assert matrix.best_hint_array()[3] == -1
+        assert matrix.row_minima()[3] == np.inf
+
+
+class TestIncrementalALS:
+    def test_warm_refresh_converges_to_cold_objective(self, tiny_workload):
+        matrix = explored_matrix(tiny_workload, observed_fraction=0.3, seed=1)
+        config = ALSConfig(rank=3, iterations=15, seed=0)
+        refresher = IncrementalALSRefresher(config, refresh_iterations=4)
+        refresher.refresh(matrix)
+
+        rng = np.random.default_rng(5)
+        rows = rng.integers(0, matrix.n_queries, 25)
+        cols = rng.integers(0, matrix.n_hints, 25)
+        matrix.observe_batch(rows, cols, tiny_workload.true_latencies[rows, cols])
+
+        warm = refresher.refresh(matrix)
+        cold = censored_als(
+            matrix.observed_values(), matrix.mask, matrix.timeout_matrix, config=config
+        )
+        assert refresher.cold_solves == 1
+        assert refresher.warm_refreshes == 1
+        # The warm refresh must land within 10% of the cold objective (it
+        # usually lands below it: warm starts skip the cold-start transient).
+        assert warm.objective_trace[-1] <= cold.objective_trace[-1] * 1.10
+
+    def test_refresh_is_noop_when_matrix_unchanged(self, tiny_workload):
+        matrix = explored_matrix(tiny_workload, observed_fraction=0.2, seed=2)
+        refresher = IncrementalALSRefresher(ALSConfig(rank=3, iterations=5))
+        first = refresher.refresh(matrix)
+        again = refresher.refresh(matrix)
+        assert again is first
+        assert refresher.cold_solves == 1
+
+    def test_warm_start_survives_workload_growth(self, tiny_workload):
+        matrix = explored_matrix(tiny_workload, observed_fraction=0.3, seed=3)
+        config = ALSConfig(rank=3, iterations=10, seed=0)
+        refresher = IncrementalALSRefresher(config, refresh_iterations=4)
+        refresher.refresh(matrix)
+        new_row = matrix.add_query()
+        matrix.observe(new_row, 0, 7.5)
+        result = refresher.refresh(matrix)
+        assert refresher.warm_refreshes == 1
+        assert result.completed.shape == matrix.shape
+
+    def test_different_matrix_object_starts_cold(self, tiny_workload):
+        config = ALSConfig(rank=3, iterations=5, seed=0)
+        refresher = IncrementalALSRefresher(config)
+        m1 = explored_matrix(tiny_workload, observed_fraction=0.3, seed=1)
+        m2 = explored_matrix(tiny_workload, observed_fraction=0.3, seed=9)
+        assert m1.version == m2.version  # same mutation count, different data
+        r1 = refresher.refresh(m1)
+        r2 = refresher.refresh(m2)
+        assert r2 is not r1
+        assert refresher.cold_solves == 2
+
+    def test_warm_start_validation(self):
+        observed = np.ones((4, 3))
+        mask = np.ones((4, 3))
+        good = censored_als(observed, mask, config=ALSConfig(rank=2, iterations=2))
+        with pytest.raises(CompletionError):
+            censored_als(
+                observed,
+                mask,
+                config=ALSConfig(rank=3, iterations=2),
+                warm_start=(good.query_factors, good.hint_factors),
+            )
+        with pytest.raises(CompletionError):
+            censored_als(
+                observed,
+                mask,
+                config=ALSConfig(rank=2, iterations=2),
+                warm_start=(np.ones((9, 2)), good.hint_factors),
+            )
+        with pytest.raises(CompletionError):
+            censored_als(
+                observed, mask, config=ALSConfig(rank=2, iterations=2), iterations=0
+            )
+
+
+class TestServingService:
+    def test_serve_and_feedback_roundtrip(self):
+        matrix = make_matrix()
+        service = ServingService(
+            matrix, refresher=IncrementalALSRefresher(ALSConfig(rank=2, iterations=3))
+        )
+        first = service.serve_batch([1])
+        assert first.hints[0] == 0
+        service.observe_batch([1], [2], [0.5])
+        second = service.serve_batch([1])
+        assert second.hints[0] == 2
+        stats = service.stats()
+        assert stats.decisions == 2
+        assert stats.batches == 2
+        assert stats.refreshes == 1
+        assert service.completed_matrix().shape == matrix.shape
+
+    def test_stats_counts_and_hit_rate(self):
+        matrix = make_matrix()
+        ticks = iter(np.arange(0.0, 10.0, 0.5))
+        service = ServingService(matrix, clock=lambda: float(next(ticks)))
+        service.serve_batch([0, 0, 1, 2])  # one non-default decision per [0]
+        stats = service.stats()
+        assert stats.decisions == 4
+        assert stats.non_default_fraction == pytest.approx(0.5)
+        assert stats.wall_seconds == pytest.approx(0.5)
+        assert stats.throughput_qps == pytest.approx(8.0)
+        assert stats.p50_latency_s == pytest.approx(0.125)
+
+    def test_annotate_without_estimator_raises(self):
+        service = ServingService(make_matrix())
+        with pytest.raises(ServingError):
+            service.serve_batch([0], annotate=True)
+
+    def test_out_of_range_batch_raises(self):
+        service = ServingService(make_matrix())
+        with pytest.raises(ServingError):
+            service.serve_batch([99])
+
+    def test_empty_recorder_reports_zeros(self):
+        stats = LatencyRecorder().report()
+        assert stats.decisions == 0
+        assert stats.throughput_qps == 0.0
+
+    def test_empty_feedback_batch_does_not_count_a_refresh(self):
+        service = ServingService(
+            make_matrix(),
+            refresher=IncrementalALSRefresher(ALSConfig(rank=2, iterations=2)),
+        )
+        service.observe_batch([], [], [])
+        assert service.stats().refreshes == 0
+
+    def test_percentiles_match_expanded_population(self):
+        recorder = LatencyRecorder()
+        rng = np.random.default_rng(0)
+        sizes = rng.integers(1, 40, 20)
+        seconds = rng.random(20) * 1e-3
+        for size, sec in zip(sizes, seconds):
+            recorder.record(int(size), float(sec), 0)
+        stats = recorder.report()
+        expanded = np.repeat(seconds / sizes, sizes)
+        p50, p99 = np.percentile(expanded, [50.0, 99.0])
+        assert stats.p50_latency_s == pytest.approx(p50)
+        assert stats.p99_latency_s == pytest.approx(p99)
+
+    def test_facade_integration(self, tiny_workload):
+        from repro.core.explorer import MatrixOracle
+        from repro.core.limeqo import LimeQO
+        from repro.core.policies import RandomPolicy
+
+        oracle = MatrixOracle(tiny_workload.true_latencies)
+        limeqo = LimeQO(
+            n_hints=tiny_workload.n_hints,
+            oracle=oracle,
+            policy=RandomPolicy(),
+            query_names=[f"q{i}" for i in range(8)],
+        )
+        limeqo.explore(time_budget=50.0, max_steps=4)
+        names = [f"q{i}" for i in range(8)]
+        batched = limeqo.lookup_batch(names)
+        assert batched == [limeqo.lookup(name) for name in names]
+        service = limeqo.serving_service()
+        decisions = service.serve_all()
+        assert decisions.hints.tolist() == [d.hint for d in limeqo.plan_cache().lookup_all()]
+
+
+class TestBatchedTCNNInference:
+    def test_estimator_matches_per_cell_prediction(self, tiny_workload, fast_tcnn_config):
+        from repro.nn.trainer import TCNNTrainer
+
+        matrix = explored_matrix(tiny_workload, observed_fraction=0.2, seed=4)
+        store = tiny_workload.feature_store()
+        trainer = TCNNTrainer(
+            store, matrix.n_queries, matrix.n_hints, config=fast_tcnn_config
+        )
+        trainer.fit(matrix)
+        estimator = BatchedLatencyEstimator(trainer, store)
+        service = ServingService(matrix, estimator=estimator)
+        decisions = service.serve_batch(np.arange(10), annotate=True)
+        per_cell = trainer.predict_cells(
+            list(zip(decisions.queries.tolist(), decisions.hints.tolist()))
+        )
+        np.testing.assert_allclose(decisions.predicted_latency, per_cell)
+        # Warming up pre-packs the whole plan space; the sliced fast path
+        # must produce identical predictions and reuse the packed tensor.
+        estimator.warm_up(matrix.shape)
+        packed = estimator._packed
+        warmed = service.serve_batch(np.arange(10), annotate=True)
+        np.testing.assert_allclose(warmed.predicted_latency, decisions.predicted_latency)
+        assert estimator._packed is packed
+
+    def test_predict_cells_batch_size_override(self, tiny_workload, fast_tcnn_config):
+        from repro.nn.trainer import TCNNTrainer
+
+        matrix = explored_matrix(tiny_workload, observed_fraction=0.2, seed=4)
+        store = tiny_workload.feature_store()
+        trainer = TCNNTrainer(
+            store, matrix.n_queries, matrix.n_hints, config=fast_tcnn_config
+        )
+        trainer.fit(matrix)
+        cells = [(0, 0), (1, 3), (2, 7), (3, 1), (4, 4)]
+        np.testing.assert_allclose(
+            trainer.predict_cells(cells, batch_size=2),
+            trainer.predict_cells(cells),
+        )
+
+
+class TestThroughputExperiment:
+    def test_comparison_reports_identical_decisions(self, tiny_workload):
+        report = serving_throughput_comparison(
+            tiny_workload, batch_size=64, n_batches=4, seed=0
+        )
+        assert report["identical"] == 1.0
+        assert report["decisions"] == 256.0
+        assert report["batched_qps"] > 0
