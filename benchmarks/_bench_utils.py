@@ -9,6 +9,9 @@ long-running simulations, not micro-benchmarks.
 
 from __future__ import annotations
 
+import json
+import os
+
 import numpy as np
 
 from repro.config import TCNNConfig
@@ -46,3 +49,19 @@ def print_series(title, series, x_values, x_label="x default time", fmt="{:.1f}"
 def as_array(values):
     """Convenience conversion used by shape assertions."""
     return np.asarray(values, dtype=float)
+
+
+def write_bench_json(name, payload):
+    """Persist a benchmark's result dict as ``BENCH_<name>.json``.
+
+    The perf trajectory across PRs is tracked by diffing these files; CI
+    uploads every ``BENCH_*.json`` as a workflow artifact.  Output lands in
+    ``$BENCH_OUTPUT_DIR`` (default: the working directory the suite runs
+    from, i.e. the repo root under the tier-1 command).
+    """
+    out_dir = os.environ.get("BENCH_OUTPUT_DIR", os.getcwd())
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=float)
+        handle.write("\n")
+    return path

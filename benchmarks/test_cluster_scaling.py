@@ -1,0 +1,74 @@
+"""Cluster scaling: 4 sharded services vs one service over the union matrix.
+
+Serves an identical heavy arrival stream through a single
+:class:`ServingService` and through a 4-shard :class:`ServingCluster`,
+then exercises failover (one shard killed) and live shard addition.
+Acceptance (the ISSUE 3 bar):
+
+* cluster decisions are byte-identical to the single service,
+* aggregate throughput under the distributed-parallel model (a fanned-out
+  batch costs its slowest shard) is at least 2x the single service,
+* a killed shard degrades to default plans without error or regression,
+  and recovery / rebalancing restore identical decisions.
+
+Writes ``BENCH_cluster.json`` for the cross-PR perf trajectory.
+"""
+
+from _bench_utils import run_once, write_bench_json
+
+from repro.experiments.cluster import cluster_vs_single_comparison
+from repro.experiments.reporting import format_table
+from repro.workloads.matrices import generate_workload
+from repro.workloads.spec import CEB_SPEC
+
+
+def test_cluster_scaling(benchmark):
+    workload = generate_workload(CEB_SPEC.scaled(0.65), seed=0)  # ~2k queries
+    result = run_once(
+        benchmark,
+        cluster_vs_single_comparison,
+        workload,
+        n_shards=4,
+        batch_size=32768,
+        n_batches=12,
+        observed_fraction=0.25,
+        seed=0,
+    )
+    print("\n=== Cluster scaling (4 shards, CEB-scale matrix) ===")
+    print(
+        format_table(
+            ["topology", "decisions/sec", "note"],
+            [
+                [
+                    "single service",
+                    f"{result['single_qps']:,.0f}",
+                    "union matrix",
+                ],
+                [
+                    "cluster (in-process)",
+                    f"{result['cluster_inprocess_qps']:,.0f}",
+                    "serial python, routing included",
+                ],
+                [
+                    "cluster (parallel model)",
+                    f"{result['parallel_qps']:,.0f}",
+                    "slowest-shard wall per sweep",
+                ],
+            ],
+        )
+    )
+    print(
+        f"parallel speedup: {result['parallel_speedup']:.2f}x over "
+        f"{result['decisions']:.0f} decisions "
+        f"(fan-out {result['fan_out']:.1f} sub-batches/batch, "
+        f"hit rate {result['non_default_fraction']:.1%}); "
+        f"failover degraded {result['degraded_decisions']:.0f} decisions to "
+        f"default plans, rebalance moved {result['rebalanced_rows']:.0f} rows"
+    )
+    path = write_bench_json("cluster", result)
+    print(f"wrote {path}")
+    assert result["identical"] == 1.0, "cluster decisions diverged from single"
+    assert result["parallel_speedup"] >= 2.0
+    assert result["degraded_ok"] == 1.0, "failover leg regressed or errored"
+    assert result["recovered"] == 1.0
+    assert result["rebalance_ok"] == 1.0

@@ -7,7 +7,7 @@ percentiles, and the speedup.  Acceptance: batched serving is at least 5x
 the per-query loop with cell-for-cell identical decisions.
 """
 
-from _bench_utils import run_once
+from _bench_utils import run_once, write_bench_json
 
 from repro.experiments.reporting import format_table
 from repro.experiments.serving import serving_throughput_comparison
@@ -47,6 +47,8 @@ def test_serving_throughput(benchmark):
         f"{result['queries']:.0f}x{result['hints']:.0f} matrix "
         f"(hit rate {result['non_default_fraction']:.1%})"
     )
+    path = write_bench_json("serving", result)
+    print(f"wrote {path}")
     assert result["identical"] == 1.0, "batched decisions diverged from per-query"
     assert result["speedup"] >= 5.0
     assert result["batched_qps"] > result["per_query_qps"]

@@ -9,6 +9,7 @@ downstream user needs most:
 * exploration policies and the offline explorer / simulator,
 * the online plan cache and the :class:`~repro.core.limeqo.LimeQO` facade,
 * the batched high-throughput serving layer (:mod:`repro.serving`),
+* the sharded multi-tenant serving cluster (:mod:`repro.cluster`),
 * the simulated DBMS substrate (:mod:`repro.db`),
 * the numpy TCNN substrate (:mod:`repro.nn`),
 * the experiment harness regenerating every table and figure
@@ -47,6 +48,14 @@ from .core import (
     SVTCompleter,
     WorkloadMatrix,
     censored_als,
+)
+from .cluster import (
+    ClusterShard,
+    ClusterStats,
+    HealthBoard,
+    RefreshScheduler,
+    RendezvousRouter,
+    ServingCluster,
 )
 from .db import HintSet, all_hint_sets, default_hint_set
 from .errors import ReproError
@@ -102,6 +111,12 @@ __all__ = [
     "all_hint_sets",
     "default_hint_set",
     "ReproError",
+    "ClusterShard",
+    "ClusterStats",
+    "HealthBoard",
+    "RefreshScheduler",
+    "RendezvousRouter",
+    "ServingCluster",
     "BatchDecisions",
     "BatchedLatencyEstimator",
     "BatchedPlanCache",

@@ -1,0 +1,472 @@
+"""The sharded multi-tenant serving cluster facade.
+
+:class:`ServingCluster` composes the pieces of :mod:`repro.cluster` into
+the horizontal layer over PR 1's single-shard :class:`ServingService`:
+
+* tenants register workloads (query-name lists) into per-tenant
+  namespaces; every query's row lives on exactly one shard, chosen by
+  rendezvous hashing of its ``tenant/name`` routing key;
+* a served batch -- even one mixing tenants -- is split into one
+  vectorised sub-batch per shard and regathered in arrival order, so the
+  per-arrival cost stays fancy-indexing, never a Python loop;
+* feedback is recorded with ``refresh=False`` and the background
+  :class:`RefreshScheduler` budgets warm-started ALS refreshes round-robin
+  across dirty shards, so no serve batch ever waits on a recompute;
+* shards can be added live: rendezvous routing moves only the rows that
+  now belong to the new shard, and their full observation state migrates
+  with them (:meth:`WorkloadMatrix.export_rows` / ``import_rows``);
+* a DOWN shard degrades to default plans for its queries -- no errors, no
+  regressions -- until it is marked up again.
+
+Decisions are byte-identical to a single :class:`ServingService` over the
+union matrix (asserted in ``tests/test_cluster.py`` and the cluster
+benchmark): sharding partitions rows, and the Figure 2 serving rule is
+row-local.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import ALSConfig
+from ..core.workload_matrix import WorkloadMatrix
+from ..errors import ClusterError, ReproError
+from ..serving.batch_cache import BatchDecisions
+from .failover import HealthBoard, degraded_decisions
+from .router import RendezvousRouter, routing_key, split_batch
+from .scheduler import RefreshScheduler
+from .shard import ClusterShard
+from .stats import ClusterStats, aggregate_shard_stats, parallel_throughput_qps
+
+
+@dataclass
+class _TenantDirectory:
+    """Routing state for one tenant's workload."""
+
+    tenant: str
+    names: List[str] = field(default_factory=list)
+    index: Dict[str, int] = field(default_factory=dict)
+    # Parallel to ``names``: owning shard id and local row on that shard.
+    shard_of: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    local_row: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.names)
+
+    def key(self, query: int) -> str:
+        return routing_key(self.tenant, self.names[query])
+
+
+class ServingCluster:
+    """Horizontal, multi-tenant composition of serving shards.
+
+    Parameters
+    ----------
+    n_shards:
+        Initial shard count (more can be added live with :meth:`add_shard`).
+    n_hints:
+        Width of every workload matrix -- hint sets are shared cluster-wide;
+        rows (queries) are what gets sharded.
+    default_hint / regression_margin:
+        Same serving rule parameters as :class:`ServingService`, applied
+        uniformly to every shard so cluster decisions match a single
+        service over the union matrix.
+    als_config / refresh_iterations:
+        Per-shard incremental ALS refresher configuration.
+    refresh_budget:
+        Dirty shards refreshed per :meth:`tick`.
+    failure_threshold:
+        Consecutive shard serve failures before the breaker trips it DOWN.
+    clock:
+        Injectable time source shared by every shard's telemetry.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        n_hints: int,
+        default_hint: int = 0,
+        regression_margin: float = 1.0,
+        als_config: Optional[ALSConfig] = None,
+        refresh_iterations: int = 3,
+        refresh_budget: int = 1,
+        failure_threshold: int = 3,
+        clock=time.perf_counter,
+    ) -> None:
+        if n_shards < 1:
+            raise ClusterError(f"cluster needs at least one shard, got {n_shards}")
+        self.n_hints = int(n_hints)
+        self.default_hint = int(default_hint)
+        self.regression_margin = float(regression_margin)
+        self._als_config = als_config or ALSConfig()
+        self._refresh_iterations = int(refresh_iterations)
+        self._clock = clock
+        self.router = RendezvousRouter()
+        self.health = HealthBoard(failure_threshold=failure_threshold)
+        self.scheduler = RefreshScheduler(
+            budget_per_tick=refresh_budget, health=self.health
+        )
+        self.shards: Dict[int, ClusterShard] = {}
+        self._tenants: Dict[str, _TenantDirectory] = {}
+        self._next_shard_id = 0
+        self._routed_batches = 0
+        self._fan_out_total = 0
+        self._degraded_decisions = 0
+        self._rebalanced_rows = 0
+        for _ in range(n_shards):
+            self._create_shard()
+
+    # -- topology --------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        """Current shard count."""
+        return len(self.shards)
+
+    @property
+    def shard_ids(self) -> List[int]:
+        """Shard ids in creation order."""
+        return self.router.shard_ids
+
+    @property
+    def tenants(self) -> List[str]:
+        """Registered tenant ids."""
+        return list(self._tenants)
+
+    def _create_shard(self) -> ClusterShard:
+        shard = ClusterShard(
+            shard_id=self._next_shard_id,
+            n_hints=self.n_hints,
+            default_hint=self.default_hint,
+            regression_margin=self.regression_margin,
+            als_config=self._als_config,
+            refresh_iterations=self._refresh_iterations,
+            clock=self._clock,
+        )
+        self._next_shard_id += 1
+        self.shards[shard.shard_id] = shard
+        self.router.add_shard(shard.shard_id)
+        self.health.register(shard.shard_id)
+        self.scheduler.register(shard)
+        return shard
+
+    def add_shard(self) -> int:
+        """Add a shard live, migrating exactly the rows that re-route to it.
+
+        Rendezvous hashing guarantees every row either stays put or moves
+        to the *new* shard; each migrated row carries its full observation
+        state, so decisions before and after rebalancing are identical.
+        """
+        new_id = self._next_shard_id
+        all_keys = [
+            directory.key(q)
+            for directory in self._tenants.values()
+            for q in range(directory.n_queries)
+        ]
+        moved = self.router.moves_for_new_shard(all_keys, new_id)
+        shard = self._create_shard()
+        if moved:
+            moved_set = set(moved)
+            for source in list(self.shards.values()):
+                if source.shard_id == new_id:
+                    continue
+                owned = [k for k in source.keys if k in moved_set]
+                if not owned:
+                    continue
+                payload = source.export_rows(owned)
+                source.remove_rows(owned)
+                shard.import_rows(payload)
+            self._rebalanced_rows += len(moved)
+            self._rebuild_directories()
+        return new_id
+
+    def _rebuild_directories(self) -> None:
+        """Recompute every tenant's shard/local-row arrays after a move."""
+        for directory in self._tenants.values():
+            n = directory.n_queries
+            shard_of = np.empty(n, dtype=np.int64)
+            local = np.empty(n, dtype=np.int64)
+            for q in range(n):
+                key = directory.key(q)
+                sid = self.router.shard_for(key)
+                shard_of[q] = sid
+                local[q] = self.shards[sid].local_row(key)
+            directory.shard_of = shard_of
+            directory.local_row = local
+
+    # -- tenant registration ----------------------------------------------------
+    def add_tenant(self, tenant: str, query_names: Sequence[str]) -> None:
+        """Register a workload under its own namespace."""
+        if tenant in self._tenants:
+            raise ClusterError(f"tenant {tenant!r} already registered")
+        routing_key(tenant, "")  # validates the tenant id
+        self._tenants[tenant] = _TenantDirectory(tenant=tenant)
+        self.add_queries(tenant, query_names)
+
+    def add_queries(self, tenant: str, names: Sequence[str]) -> List[int]:
+        """Grow a tenant's workload; returns the new tenant-global indices."""
+        directory = self._directory(tenant)
+        names = list(names)
+        for name in names:
+            if name in directory.index:
+                raise ClusterError(
+                    f"tenant {tenant!r} already has a query named {name!r}"
+                )
+        if len(set(names)) != len(names):
+            raise ClusterError("duplicate query names in one registration")
+        keys = [routing_key(tenant, name) for name in names]
+        assigned = self.router.assign(keys)
+        first = directory.n_queries
+        new_shard_of = np.empty(len(names), dtype=np.int64)
+        new_local = np.empty(len(names), dtype=np.int64)
+        for sid, positions in split_batch(assigned):
+            shard_keys = [keys[p] for p in positions]
+            local_indices = self.shards[sid].add_rows(shard_keys)
+            new_shard_of[positions] = sid
+            new_local[positions] = local_indices
+        for offset, name in enumerate(names):
+            directory.index[name] = first + offset
+        directory.names.extend(names)
+        directory.shard_of = np.concatenate([directory.shard_of, new_shard_of])
+        directory.local_row = np.concatenate([directory.local_row, new_local])
+        return list(range(first, first + len(names)))
+
+    def _directory(self, tenant: str) -> _TenantDirectory:
+        try:
+            return self._tenants[tenant]
+        except KeyError:
+            raise ClusterError(f"unknown tenant {tenant!r}") from None
+
+    def query_index(self, tenant: str, name: str) -> int:
+        """Tenant-global index of a named query."""
+        directory = self._directory(tenant)
+        try:
+            return directory.index[name]
+        except KeyError:
+            raise ClusterError(
+                f"tenant {tenant!r} has no query named {name!r}"
+            ) from None
+
+    def n_queries(self, tenant: str) -> int:
+        """Number of queries registered for a tenant."""
+        return self._directory(tenant).n_queries
+
+    # -- the hot path ------------------------------------------------------------
+    def _resolve(
+        self, tenant: str, queries
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        directory = self._directory(tenant)
+        queries = np.asarray(queries, dtype=np.int64)
+        if queries.ndim != 1:
+            raise ClusterError("expected a 1-D array of tenant query indices")
+        if queries.size and (
+            queries.min() < 0 or queries.max() >= directory.n_queries
+        ):
+            raise ClusterError(
+                f"query index out of range [0, {directory.n_queries}) "
+                f"for tenant {tenant!r}"
+            )
+        return queries, directory.shard_of[queries], directory.local_row[queries]
+
+    def serve_batch(self, tenant: str, queries) -> BatchDecisions:
+        """Answer one tenant's batch of arrivals (tenant-global indices)."""
+        queries, shard_ids, local = self._resolve(tenant, queries)
+        return self._serve_assigned(queries, shard_ids, local)
+
+    def serve_mixed(
+        self, arrivals: Sequence[Tuple[str, int]]
+    ) -> BatchDecisions:
+        """Answer a mixed-tenant batch of ``(tenant, query_index)`` arrivals.
+
+        All arrivals landing on the same shard -- regardless of tenant --
+        fan out as a single vectorised sub-batch; the returned decisions
+        are regathered in arrival order (``queries`` holds the per-arrival
+        tenant-global indices).
+        """
+        n = len(arrivals)
+        queries = np.empty(n, dtype=np.int64)
+        shard_ids = np.empty(n, dtype=np.int64)
+        local = np.empty(n, dtype=np.int64)
+        by_tenant: Dict[str, List[int]] = {}
+        for i, (tenant, _) in enumerate(arrivals):
+            by_tenant.setdefault(tenant, []).append(i)
+        for tenant, positions in by_tenant.items():
+            tenant_queries = np.asarray(
+                [arrivals[i][1] for i in positions], dtype=np.int64
+            )
+            resolved, assigned, rows = self._resolve(tenant, tenant_queries)
+            queries[positions] = resolved
+            shard_ids[positions] = assigned
+            local[positions] = rows
+        return self._serve_assigned(queries, shard_ids, local)
+
+    def _serve_assigned(
+        self, queries: np.ndarray, shard_ids: np.ndarray, local: np.ndarray
+    ) -> BatchDecisions:
+        n = queries.shape[0]
+        hints = np.full(n, self.default_hint, dtype=np.int64)
+        used_default = np.ones(n, dtype=bool)
+        expected = np.full(n, np.inf)
+        self._routed_batches += 1
+        groups = split_batch(shard_ids)
+        self._fan_out_total += len(groups)
+        for sid, positions in groups:
+            if not self.health.is_up(sid):
+                sub = degraded_decisions(local[positions], self.default_hint)
+                self._degraded_decisions += int(positions.size)
+            else:
+                try:
+                    sub = self.shards[sid].serve_local(local[positions])
+                    self.health.record_success(sid)
+                except ReproError:
+                    # One failed sub-batch degrades, counts against the
+                    # breaker, and never fails the cluster-level batch.
+                    self.health.record_failure(sid)
+                    sub = degraded_decisions(local[positions], self.default_hint)
+                    self._degraded_decisions += int(positions.size)
+            hints[positions] = sub.hints
+            used_default[positions] = sub.used_default
+            expected[positions] = sub.expected_latency
+        return BatchDecisions(
+            queries=queries,
+            hints=hints,
+            used_default=used_default,
+            expected_latency=expected,
+        )
+
+    def serve_all(self, tenant: str) -> BatchDecisions:
+        """Answer every query of one tenant as a single batch."""
+        return self.serve_batch(tenant, np.arange(self.n_queries(tenant)))
+
+    # -- the feedback path --------------------------------------------------------
+    def observe_batch(self, tenant: str, queries, hints, latencies) -> None:
+        """Record measured latencies for one tenant's queries.
+
+        The affected shards become dirty; the actual ALS refreshes run when
+        the background scheduler next picks them (:meth:`tick`), never
+        inline.  Health does not gate feedback: observations always land
+        (in-process the matrix is reachable; a deployment would queue them).
+        """
+        queries, shard_ids, local = self._resolve(tenant, queries)
+        hints = np.asarray(hints, dtype=np.int64)
+        latencies = np.asarray(latencies, dtype=float)
+        if not (queries.shape == hints.shape == latencies.shape):
+            raise ClusterError(
+                "observe_batch needs three 1-D arrays of equal length"
+            )
+        # Validate the whole batch before touching any shard: a bad element
+        # must not leave earlier shard groups mutated and later ones not.
+        if hints.size:
+            if hints.min() < 0 or hints.max() >= self.n_hints:
+                raise ClusterError(
+                    f"hint index out of range [0, {self.n_hints}) in batch"
+                )
+            if not np.all(np.isfinite(latencies)) or np.any(latencies < 0):
+                raise ClusterError(
+                    "observe_batch: latencies must be finite and >= 0"
+                )
+        for sid, positions in split_batch(shard_ids):
+            self.shards[sid].observe_local(
+                local[positions], hints[positions], latencies[positions]
+            )
+
+    def observe_censored(
+        self, tenant: str, query: int, hint: int, lower_bound: float
+    ) -> None:
+        """Record one timed-out execution (a latency lower bound)."""
+        directory = self._directory(tenant)
+        if not 0 <= query < directory.n_queries:
+            raise ClusterError(
+                f"query index {query} out of range for tenant {tenant!r}"
+            )
+        shard = self.shards[int(directory.shard_of[query])]
+        shard.observe_censored_local(
+            int(directory.local_row[query]), hint, lower_bound
+        )
+
+    # -- background refresh ---------------------------------------------------------
+    def tick(self) -> List[int]:
+        """One scheduler tick: refresh up to the budget of dirty shards."""
+        return self.scheduler.tick()
+
+    def drain_refreshes(self) -> int:
+        """Tick until every reachable shard is clean; returns refreshes run."""
+        return self.scheduler.drain()
+
+    # -- failover ---------------------------------------------------------------------
+    def mark_down(self, shard_id: int) -> None:
+        """Degrade a shard: its queries get default plans until marked up."""
+        self.health.mark_down(shard_id)
+
+    def mark_up(self, shard_id: int) -> None:
+        """Restore a shard to verified serving."""
+        self.health.mark_up(shard_id)
+
+    # -- introspection -----------------------------------------------------------------
+    def export_tenant_matrix(self, tenant: str) -> WorkloadMatrix:
+        """Reassemble one tenant's union matrix from its shard-resident rows.
+
+        The inverse of sharding, in tenant-global query order -- what a
+        single :class:`ServingService` over the whole workload would hold.
+        Used by the equivalence tests and benchmark.
+        """
+        directory = self._directory(tenant)
+        n = directory.n_queries
+        if n == 0:
+            raise ClusterError(f"tenant {tenant!r} has no queries to export")
+        values = np.full((n, self.n_hints), np.inf)
+        observed = np.zeros((n, self.n_hints), dtype=bool)
+        censored = np.zeros((n, self.n_hints), dtype=bool)
+        timeouts = np.zeros((n, self.n_hints))
+        # One batched export per shard, scattered back into global order.
+        for sid, positions in split_batch(directory.shard_of):
+            payload = self.shards[sid].export_rows(
+                [directory.key(int(q)) for q in positions]
+            )
+            values[positions] = payload["values"]
+            observed[positions] = payload["observed"]
+            censored[positions] = payload["censored"]
+            timeouts[positions] = payload["timeouts"]
+        return WorkloadMatrix.from_dict(
+            {
+                "values": values,
+                "observed": observed,
+                "censored": censored,
+                "timeouts": timeouts,
+                "query_names": list(directory.names),
+                "hint_names": [f"h{j}" for j in range(self.n_hints)],
+            }
+        )
+
+    def stats(self) -> ClusterStats:
+        """Cluster-wide report: merged counters, exact global percentiles."""
+        per_shard = {sid: shard.stats() for sid, shard in self.shards.items()}
+        return ClusterStats(
+            n_shards=self.n_shards,
+            n_tenants=len(self._tenants),
+            total_rows=sum(shard.n_rows for shard in self.shards.values()),
+            per_shard=per_shard,
+            cluster=aggregate_shard_stats(self.shards.values()),
+            parallel_qps=parallel_throughput_qps(per_shard),
+            routed_batches=self._routed_batches,
+            fan_out=(
+                self._fan_out_total / self._routed_batches
+                if self._routed_batches
+                else 0.0
+            ),
+            degraded_decisions=self._degraded_decisions,
+            rebalanced_rows=self._rebalanced_rows,
+            scheduler_ticks=self.scheduler.ticks,
+            scheduler_refreshes=self.scheduler.refreshes,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ServingCluster({self.n_shards} shards, "
+            f"{len(self._tenants)} tenants, "
+            f"{sum(s.n_rows for s in self.shards.values())} rows)"
+        )

@@ -1,0 +1,141 @@
+"""Rendezvous-hash routing of namespaced query keys to shards.
+
+Every query in the cluster is identified by a *routing key*
+``"tenant/query_name"`` -- the tenant prefix keeps workloads (millions of
+users means many workloads) in disjoint namespaces even when their query
+names collide.  Keys are mapped to shards with rendezvous (highest-random-
+weight) hashing: each ``(key, shard)`` pair gets a deterministic 64-bit
+score from BLAKE2b and the key lives on the highest-scoring shard.
+
+Rendezvous hashing is what makes live rebalancing cheap: when a shard is
+added, a key either keeps its old shard or moves to the *new* shard
+(whichever existing shard scored highest still scores highest among the old
+set), so only ~``1/(n+1)`` of the rows migrate and none shuffle between old
+shards.  That minimal-disruption property is asserted by a hypothesis test
+in ``tests/test_cluster.py``.
+
+The scoring hash is :func:`hashlib.blake2b`, not Python's built-in
+``hash`` -- the built-in is salted per process, which would re-route every
+key on restart.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ClusterError
+
+
+def routing_key(tenant: str, name: str) -> str:
+    """The cluster-wide identifier of one tenant's query."""
+    if not tenant or "/" in tenant:
+        raise ClusterError(
+            f"tenant id must be non-empty and must not contain '/', got {tenant!r}"
+        )
+    return f"{tenant}/{name}"
+
+
+def rendezvous_score(key: str, shard_id: int) -> int:
+    """Deterministic 64-bit score of a (key, shard) pair."""
+    digest = hashlib.blake2b(
+        f"{key}|shard:{shard_id}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class RendezvousRouter:
+    """Maps routing keys to shard ids; stable under shard addition.
+
+    The router is pure routing state: it knows the shard id set and nothing
+    about matrices or services.  Assignments are cached per key (the score
+    loop is Python-level) and the cache is dropped whenever the topology
+    changes.
+    """
+
+    def __init__(self, shard_ids: Iterable[int] = ()) -> None:
+        self._shard_ids: List[int] = []
+        self._cache: Dict[str, int] = {}
+        for shard_id in shard_ids:
+            self.add_shard(shard_id)
+
+    @property
+    def shard_ids(self) -> List[int]:
+        """Current topology (insertion order)."""
+        return list(self._shard_ids)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards in the topology."""
+        return len(self._shard_ids)
+
+    def add_shard(self, shard_id: int) -> None:
+        """Grow the topology by one shard (invalidates cached assignments)."""
+        if shard_id in self._shard_ids:
+            raise ClusterError(f"shard {shard_id} already routed to")
+        self._shard_ids.append(int(shard_id))
+        self._cache.clear()
+
+    def remove_shard(self, shard_id: int) -> None:
+        """Shrink the topology (invalidates cached assignments)."""
+        if shard_id not in self._shard_ids:
+            raise ClusterError(f"shard {shard_id} not in the topology")
+        self._shard_ids.remove(shard_id)
+        self._cache.clear()
+
+    # -- assignment -----------------------------------------------------------
+    def shard_for(self, key: str) -> int:
+        """The shard owning ``key`` under the current topology."""
+        if not self._shard_ids:
+            raise ClusterError("cannot route with an empty topology")
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        best = max(self._shard_ids, key=lambda sid: rendezvous_score(key, sid))
+        self._cache[key] = best
+        return best
+
+    def assign(self, keys: Sequence[str]) -> np.ndarray:
+        """Shard id per key, as an int64 array parallel to ``keys``."""
+        return np.fromiter(
+            (self.shard_for(k) for k in keys), dtype=np.int64, count=len(keys)
+        )
+
+    def moves_for_new_shard(
+        self, keys: Iterable[str], new_shard_id: int
+    ) -> List[str]:
+        """Keys that would migrate to ``new_shard_id`` if it were added.
+
+        Computed *before* mutating the topology so the caller can stage the
+        row migration; by the rendezvous property these are exactly the keys
+        whose assignment changes.
+        """
+        if new_shard_id in self._shard_ids:
+            raise ClusterError(f"shard {new_shard_id} already routed to")
+        moved = []
+        for key in keys:
+            current = rendezvous_score(key, self.shard_for(key))
+            if rendezvous_score(key, new_shard_id) > current:
+                moved.append(key)
+        return moved
+
+
+def split_batch(shard_ids: np.ndarray) -> List[Tuple[int, np.ndarray]]:
+    """Group batch positions by shard: one vectorised sub-batch per shard.
+
+    Given the per-arrival shard assignment of a (possibly mixed-tenant)
+    batch, returns ``(shard_id, positions)`` pairs where ``positions``
+    indexes into the original batch.  Scattering each sub-batch's answers
+    back through its ``positions`` regathers the batch in arrival order --
+    no per-arrival Python loop on either side.
+    """
+    shard_ids = np.asarray(shard_ids, dtype=np.int64)
+    if shard_ids.ndim != 1:
+        raise ClusterError("split_batch expects a 1-D shard assignment array")
+    order = np.argsort(shard_ids, kind="stable")
+    sorted_ids = shard_ids[order]
+    boundaries = np.nonzero(np.diff(sorted_ids))[0] + 1
+    groups = np.split(order, boundaries)
+    return [(int(shard_ids[g[0]]), g) for g in groups if g.size]

@@ -1,0 +1,94 @@
+"""Budgeted round-robin scheduling of background ALS refreshes.
+
+Feedback lands on shards with ``refresh=False`` -- the serve path never
+pays for matrix completion.  Instead the cluster owner calls
+:meth:`RefreshScheduler.tick` from whatever background cadence it has (an
+idle loop, a timer, the gaps between arrival bursts), and each tick
+warm-starts at most ``budget_per_tick`` dirty shards.  The cursor is
+round-robin over the shard ring so a permanently chatty tenant cannot
+starve the refreshes of a quiet one, and DOWN shards are skipped entirely
+(their matrices may be unreachable; they re-enter the rotation on
+``mark_up``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import ClusterError
+from .failover import HealthBoard
+from .shard import ClusterShard
+
+
+class RefreshScheduler:
+    """Round-robin refresh budgeting across the cluster's shards."""
+
+    def __init__(
+        self,
+        budget_per_tick: int = 1,
+        health: Optional[HealthBoard] = None,
+    ) -> None:
+        if budget_per_tick < 1:
+            raise ClusterError(
+                f"budget_per_tick must be >= 1, got {budget_per_tick}"
+            )
+        self.budget_per_tick = int(budget_per_tick)
+        self.health = health
+        self._shards: Dict[int, ClusterShard] = {}
+        self._ring: List[int] = []
+        self._cursor = 0
+        self.ticks = 0
+        self.refreshes = 0
+        self.skipped_down = 0
+
+    def register(self, shard: ClusterShard) -> None:
+        """Add a shard to the refresh rotation."""
+        if shard.shard_id in self._shards:
+            raise ClusterError(f"shard {shard.shard_id} already scheduled")
+        self._shards[shard.shard_id] = shard
+        self._ring.append(shard.shard_id)
+
+    def dirty_shards(self) -> List[int]:
+        """Ids of shards with observations newer than their last refresh."""
+        return [sid for sid in self._ring if self._shards[sid].is_dirty]
+
+    def _refreshable(self, shard_id: int) -> bool:
+        if self.health is not None and not self.health.is_up(shard_id):
+            return False
+        return self._shards[shard_id].is_dirty
+
+    def tick(self) -> List[int]:
+        """Refresh up to ``budget_per_tick`` dirty shards; returns their ids.
+
+        One full lap of the ring per tick at most: shards that are clean
+        cost one ``is_dirty`` check, DOWN shards are counted as skipped,
+        and the cursor persists across ticks so the budget rotates fairly.
+        """
+        self.ticks += 1
+        refreshed: List[int] = []
+        if not self._ring:
+            return refreshed
+        examined = 0
+        n = len(self._ring)
+        while examined < n and len(refreshed) < self.budget_per_tick:
+            shard_id = self._ring[self._cursor % n]
+            self._cursor = (self._cursor + 1) % n
+            examined += 1
+            shard = self._shards[shard_id]
+            if self.health is not None and not self.health.is_up(shard_id):
+                if shard.is_dirty:
+                    self.skipped_down += 1
+                continue
+            if shard.is_dirty and shard.refresh():
+                self.refreshes += 1
+                refreshed.append(shard_id)
+        return refreshed
+
+    def drain(self, max_ticks: int = 1000) -> int:
+        """Tick until no refreshable shard is dirty; returns refreshes run."""
+        total = 0
+        for _ in range(max_ticks):
+            if not any(self._refreshable(sid) for sid in self._ring):
+                break
+            total += len(self.tick())
+        return total

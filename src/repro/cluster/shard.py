@@ -1,0 +1,218 @@
+"""One serving shard: a routed slice of rows behind a `ServingService`.
+
+A shard owns the full single-node serving stack from PR 1 -- its own
+:class:`WorkloadMatrix` (only the rows routed to it), a
+:class:`ServingService` (which carries the vectorised
+:class:`~repro.serving.batch_cache.BatchedPlanCache`), and an
+:class:`IncrementalALSRefresher` -- plus the row bookkeeping the cluster
+needs: a routing-key -> local-row table, and export / import / remove
+operations so rows can migrate between shards live (rebalancing keeps every
+observation and censored lower bound; the receiving shard's decisions for a
+migrated row are byte-identical to the sender's).
+
+The matrix is created lazily on the first row: :class:`WorkloadMatrix`
+requires at least one row, and a freshly added shard legitimately owns
+nothing until the router hands it keys.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import ALSConfig
+from ..core.workload_matrix import WorkloadMatrix
+from ..errors import ClusterError
+from ..serving.batch_cache import BatchDecisions
+from ..serving.refresh import IncrementalALSRefresher
+from ..serving.service import ServingService
+from ..serving.stats import LatencyRecorder, ServingStats
+
+
+class ClusterShard:
+    """Lifecycle and row bookkeeping for one shard of the cluster.
+
+    Parameters mirror :class:`ServingService`; ``clock`` is injectable so
+    tests (and the deterministic parallel-throughput model in the cluster
+    benchmark) can fake time.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        n_hints: int,
+        default_hint: int = 0,
+        regression_margin: float = 1.0,
+        als_config: Optional[ALSConfig] = None,
+        refresh_iterations: int = 3,
+        clock=time.perf_counter,
+    ) -> None:
+        if n_hints < 1:
+            raise ClusterError(f"shard needs a positive hint count, got {n_hints}")
+        if not 0 <= default_hint < n_hints:
+            raise ClusterError(
+                f"default hint {default_hint} out of range for {n_hints} hints"
+            )
+        self.shard_id = int(shard_id)
+        self.n_hints = int(n_hints)
+        self.default_hint = int(default_hint)
+        self.regression_margin = float(regression_margin)
+        self.refresher = IncrementalALSRefresher(
+            als_config or ALSConfig(), refresh_iterations=refresh_iterations
+        )
+        self._clock = clock
+        self.matrix: Optional[WorkloadMatrix] = None
+        self.service: Optional[ServingService] = None
+        self._rows: Dict[str, int] = {}
+        self._refreshed_version: Optional[int] = None
+        # Owned by the shard, not the service: telemetry must survive the
+        # service being retired and rebuilt when every row migrates away.
+        self._recorder = LatencyRecorder()
+
+    # -- row bookkeeping -----------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Number of rows this shard currently owns."""
+        return len(self._rows)
+
+    @property
+    def keys(self) -> List[str]:
+        """Routing keys in local row order."""
+        return [] if self.matrix is None else list(self.matrix.query_names)
+
+    def owns(self, key: str) -> bool:
+        """True when ``key``'s row lives on this shard."""
+        return key in self._rows
+
+    def local_row(self, key: str) -> int:
+        """Local row index of ``key`` (raises when not owned)."""
+        try:
+            return self._rows[key]
+        except KeyError:
+            raise ClusterError(
+                f"shard {self.shard_id} does not own key {key!r}"
+            ) from None
+
+    def _empty_payload(self, keys: Sequence[str]) -> Dict:
+        n = len(keys)
+        return {
+            "values": np.full((n, self.n_hints), np.inf),
+            "observed": np.zeros((n, self.n_hints), dtype=bool),
+            "censored": np.zeros((n, self.n_hints), dtype=bool),
+            "timeouts": np.zeros((n, self.n_hints)),
+            "query_names": list(keys),
+        }
+
+    def add_rows(self, keys: Sequence[str]) -> List[int]:
+        """Create fully unobserved rows for new keys; returns local indices."""
+        return self.import_rows(self._empty_payload(keys))
+
+    def import_rows(self, payload: Dict) -> List[int]:
+        """Attach rows (from :meth:`export_rows` or :meth:`add_rows`)."""
+        names = list(payload["query_names"])
+        for key in names:
+            if key in self._rows:
+                raise ClusterError(
+                    f"shard {self.shard_id} already owns key {key!r}"
+                )
+        if not names:
+            return []
+        if self.matrix is None:
+            self.matrix = WorkloadMatrix.from_dict(
+                {**payload, "hint_names": [f"h{j}" for j in range(self.n_hints)]}
+            )
+            self.service = ServingService(
+                self.matrix,
+                default_hint=self.default_hint,
+                regression_margin=self.regression_margin,
+                refresher=self.refresher,
+                clock=self._clock,
+                recorder=self._recorder,
+            )
+            indices = list(range(len(names)))
+        else:
+            indices = self.matrix.import_rows(payload)
+        for key, index in zip(names, indices):
+            self._rows[key] = index
+        return indices
+
+    def export_rows(self, keys: Sequence[str]) -> Dict:
+        """Row payload for a set of owned keys (for migration elsewhere)."""
+        if self.matrix is None:
+            raise ClusterError(f"shard {self.shard_id} owns no rows to export")
+        return self.matrix.export_rows([self.local_row(k) for k in keys])
+
+    def remove_rows(self, keys: Sequence[str]) -> None:
+        """Drop owned rows after their migration; remaining rows re-index."""
+        keys = list(keys)
+        if not keys:
+            return
+        indices = [self.local_row(k) for k in keys]
+        if len(indices) == self.n_rows:
+            # The matrix cannot become empty; retire the whole serving stack.
+            self.matrix = None
+            self.service = None
+            self._rows.clear()
+            self._refreshed_version = None
+            return
+        self.matrix.remove_queries(indices)
+        self._rows = {key: row for row, key in enumerate(self.matrix.query_names)}
+
+    # -- serving (called by the cluster with local row indices) ----------------
+    def serve_local(self, local_queries: np.ndarray) -> BatchDecisions:
+        """Answer a sub-batch of locally indexed arrivals."""
+        if self.service is None:
+            raise ClusterError(f"shard {self.shard_id} owns no rows yet")
+        return self.service.serve_batch(local_queries)
+
+    def observe_local(self, local_queries, hints, latencies) -> None:
+        """Record feedback for locally indexed rows.
+
+        Never runs ALS inline -- the refresh happens when the cluster's
+        background scheduler picks this shard (:meth:`refresh`), so a serve
+        batch can never be stuck behind a recompute.
+        """
+        if self.service is None:
+            raise ClusterError(f"shard {self.shard_id} owns no rows yet")
+        self.service.observe_batch(local_queries, hints, latencies, refresh=False)
+
+    def observe_censored_local(
+        self, local_query: int, hint: int, lower_bound: float
+    ) -> None:
+        """Record a timed-out execution for a locally indexed row."""
+        if self.matrix is None:
+            raise ClusterError(f"shard {self.shard_id} owns no rows yet")
+        self.matrix.observe_censored(local_query, hint, lower_bound)
+
+    # -- background refresh ----------------------------------------------------
+    @property
+    def is_dirty(self) -> bool:
+        """True when observations landed since the last completed refresh."""
+        if self.matrix is None:
+            return False
+        return self._refreshed_version != self.matrix.version
+
+    def refresh(self) -> bool:
+        """Warm-started ALS refresh (scheduler hook); True when a solve ran."""
+        if self.matrix is None:
+            return False
+        ran = self.service.refresh_now()
+        self._refreshed_version = self.matrix.version
+        return ran
+
+    # -- telemetry -------------------------------------------------------------
+    def stats(self) -> ServingStats:
+        """This shard's serving report (survives full-row retirement)."""
+        return self._recorder.report()
+
+    def recorder(self) -> LatencyRecorder:
+        """Raw recorder for exact cluster-wide percentile pooling."""
+        return self._recorder
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClusterShard(id={self.shard_id}, rows={self.n_rows}, "
+            f"dirty={self.is_dirty})"
+        )

@@ -1,0 +1,124 @@
+"""Cluster-wide telemetry: mergeable per-shard reports plus routing counters.
+
+Two views of the same traffic:
+
+* ``cluster`` -- the fold of every shard's :class:`ServingStats` through
+  :meth:`ServingStats.merge` (the mergeable-counter path any external
+  aggregator could run from per-shard summaries alone), with the global
+  p50/p99 recomputed *exactly* from the pooled raw recorders since this
+  aggregator holds every shard in-process
+  (:meth:`LatencyRecorder.merged`);
+* ``parallel_qps`` -- the distributed-parallel reading of throughput:
+  shards are independent units, so a deployment's wall-clock for a fanned-
+  out batch is its slowest shard, and aggregate throughput is total
+  decisions over the *maximum* per-shard busy time (the in-process
+  ``cluster.throughput_qps`` divides by the sum instead and is the
+  conservative serial reading).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Union
+
+from ..serving.stats import LatencyRecorder, ServingStats
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """Point-in-time report over the whole cluster.
+
+    Attributes
+    ----------
+    n_shards / n_tenants / total_rows:
+        Topology: shard count, registered tenants, rows across all shards.
+    per_shard:
+        Each shard's own :class:`ServingStats`.
+    cluster:
+        The merged report (exact counters, exact pooled percentiles).
+    parallel_qps:
+        Total decisions over the maximum per-shard busy time -- the
+        throughput of the same shards deployed as parallel units.
+    routed_batches / fan_out:
+        Batches routed through the cluster and the average number of
+        per-shard sub-batches each one split into.
+    degraded_decisions:
+        Arrivals answered with the default plan because their shard was
+        down.
+    rebalanced_rows:
+        Rows migrated between shards by topology changes so far.
+    scheduler_ticks / scheduler_refreshes:
+        Background refresh activity.
+    """
+
+    n_shards: int
+    n_tenants: int
+    total_rows: int
+    per_shard: Dict[int, ServingStats]
+    cluster: ServingStats
+    parallel_qps: float
+    routed_batches: int
+    fan_out: float
+    degraded_decisions: int
+    rebalanced_rows: int
+    scheduler_ticks: int
+    scheduler_refreshes: int
+
+    def as_dict(self) -> Dict[str, Union[int, float, Dict]]:
+        """Plain nested dictionary for dashboards and benchmark JSON."""
+        return {
+            "n_shards": self.n_shards,
+            "n_tenants": self.n_tenants,
+            "total_rows": self.total_rows,
+            "per_shard": {
+                str(sid): stats.as_dict() for sid, stats in self.per_shard.items()
+            },
+            "cluster": self.cluster.as_dict(),
+            "parallel_qps": self.parallel_qps,
+            "routed_batches": self.routed_batches,
+            "fan_out": self.fan_out,
+            "degraded_decisions": self.degraded_decisions,
+            "rebalanced_rows": self.rebalanced_rows,
+            "scheduler_ticks": self.scheduler_ticks,
+            "scheduler_refreshes": self.scheduler_refreshes,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"ClusterStats({self.n_shards} shards, {self.total_rows} rows, "
+            f"{self.cluster.decisions} decisions, "
+            f"parallel {self.parallel_qps:,.0f} qps, "
+            f"degraded={self.degraded_decisions}, "
+            f"rebalanced={self.rebalanced_rows})"
+        )
+
+
+def aggregate_shard_stats(shards) -> ServingStats:
+    """Merge per-shard reports; percentiles recomputed exactly from samples.
+
+    ``ServingStats.merge`` supplies the counter algebra; because every
+    shard's raw :class:`LatencyRecorder` is reachable in-process, the
+    approximate merged percentiles are replaced with the exact percentiles
+    of the pooled per-decision population.
+    """
+    shards = list(shards)
+    merged = ServingStats.merge(s.stats() for s in shards)
+    if merged.decisions == 0:
+        return merged
+    pooled = LatencyRecorder.merged([s.recorder() for s in shards]).report()
+    return dataclasses.replace(
+        merged,
+        p50_latency_s=pooled.p50_latency_s,
+        p99_latency_s=pooled.p99_latency_s,
+    )
+
+
+def parallel_throughput_qps(per_shard: Dict[int, ServingStats]) -> float:
+    """Total decisions over the slowest shard's busy time (parallel model)."""
+    active = [s for s in per_shard.values() if s.decisions > 0]
+    if not active:
+        return 0.0
+    slowest = max(s.wall_seconds for s in active)
+    total = sum(s.decisions for s in active)
+    return total / slowest if slowest > 0 else float("inf")

@@ -13,14 +13,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from ..config import ExplorationConfig
 from ..errors import ExplorationError
 from .explorer import ExecutionOracle, OfflineExplorer
 from .plan_cache import CacheDecision, PlanCache
 from .policies import ExplorationPolicy, LimeQOPolicy
-from .simulation import ExplorationTrace
 from .workload_matrix import WorkloadMatrix
 
 

@@ -287,6 +287,92 @@ class WorkloadMatrix:
         self._version += 1
         return index
 
+    # -- row migration (cluster rebalancing) -------------------------------------
+    def export_rows(self, queries: Sequence[int]) -> Dict:
+        """Extract full row state for a set of queries (order preserved).
+
+        The payload carries everything a row knows -- values, observed and
+        censored flags, censored timeouts, and the query names -- so a
+        serving shard can hand rows to another shard without losing any
+        observation or lower bound.  ``hint_names`` travel along so the
+        receiver can verify column compatibility.
+        """
+        indices = np.asarray(list(queries), dtype=np.int64)
+        if indices.ndim != 1:
+            raise MatrixError("export_rows expects a 1-D sequence of query indices")
+        for q in indices:
+            self._check_indices(int(q), 0)
+        return {
+            "values": self._values[indices].copy(),
+            "observed": self._observed[indices].copy(),
+            "censored": self._censored[indices].copy(),
+            "timeouts": self._timeouts[indices].copy(),
+            "query_names": [self.query_names[int(q)] for q in indices],
+            "hint_names": list(self.hint_names),
+        }
+
+    def import_rows(self, payload: Dict) -> List[int]:
+        """Append rows produced by :meth:`export_rows`; returns the new indices.
+
+        The inverse half of a row migration: the exporting matrix drops the
+        rows with :meth:`remove_queries`, the importing matrix appends them
+        here.  Column count must match (hint sets are shared cluster-wide,
+        rows are what gets sharded).
+        """
+        values = np.asarray(payload["values"], dtype=float)
+        observed = np.asarray(payload["observed"], dtype=bool)
+        censored = np.asarray(payload["censored"], dtype=bool)
+        timeouts = np.asarray(payload["timeouts"], dtype=float)
+        names = list(payload["query_names"])
+        if values.ndim != 2 or values.shape[1] != self.n_hints:
+            raise MatrixError(
+                f"import_rows expects rows with {self.n_hints} hints, "
+                f"got shape {values.shape}"
+            )
+        if not (values.shape == observed.shape == censored.shape == timeouts.shape):
+            raise MatrixError("import_rows payload arrays disagree on shape")
+        if len(names) != values.shape[0]:
+            raise MatrixError(
+                f"import_rows expects {values.shape[0]} query names, got {len(names)}"
+            )
+        if values.shape[0] == 0:
+            return []
+        first = self.n_queries
+        self._values = np.vstack([self._values, values])
+        self._observed = np.vstack([self._observed, observed])
+        self._censored = np.vstack([self._censored, censored])
+        self._timeouts = np.vstack([self._timeouts, timeouts])
+        self.query_names.extend(names)
+        self._version += 1
+        return list(range(first, self.n_queries))
+
+    def remove_queries(self, queries: Sequence[int]) -> None:
+        """Drop rows in place; remaining rows shift down, preserving order.
+
+        Callers that index rows by position (the cluster shards) must remap
+        their row tables afterwards.  A matrix cannot become empty -- the
+        owner should retire the whole matrix instead of removing every row.
+        """
+        indices = np.asarray(list(queries), dtype=np.int64)
+        if indices.size == 0:
+            return
+        for q in indices:
+            self._check_indices(int(q), 0)
+        keep = np.ones(self.n_queries, dtype=bool)
+        keep[indices] = False
+        if not keep.any():
+            raise MatrixError(
+                "remove_queries cannot drop every row; retire the matrix instead"
+            )
+        self._values = self._values[keep]
+        self._observed = self._observed[keep]
+        self._censored = self._censored[keep]
+        self._timeouts = self._timeouts[keep]
+        self.query_names = [
+            name for name, kept in zip(self.query_names, keep) if kept
+        ]
+        self._version += 1
+
     def invalidate(self, queries: Optional[Iterable[int]] = None) -> None:
         """Forget observations (all queries, or a subset) after a data shift."""
         if queries is None:

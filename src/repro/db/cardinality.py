@@ -15,7 +15,7 @@ Two cardinality models are needed to make hint steering meaningful:
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, Tuple
 
 import numpy as np
 

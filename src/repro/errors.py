@@ -66,3 +66,7 @@ class ExperimentError(ReproError):
 
 class ServingError(ReproError):
     """Raised by the batched online serving layer."""
+
+
+class ClusterError(ReproError):
+    """Raised by the sharded multi-tenant serving cluster."""

@@ -33,6 +33,7 @@ from .runner import (
 )
 from .reporting import format_series_table, format_table
 from .serving import explored_matrix, serving_throughput_comparison
+from .cluster import cluster_vs_single_comparison, populate_cluster
 
 __all__ = [
     "figure5_performance",
@@ -58,4 +59,6 @@ __all__ = [
     "format_table",
     "explored_matrix",
     "serving_throughput_comparison",
+    "cluster_vs_single_comparison",
+    "populate_cluster",
 ]

@@ -1,0 +1,234 @@
+"""Cluster experiment: sharded serving vs one service over the union matrix.
+
+Quantifies the three cluster acceptance properties on a CEB-scale
+workload:
+
+* **equivalence** -- the 4-shard cluster's decisions (hints, default
+  flags, expected latencies) are byte-identical to a single
+  :class:`ServingService` holding the union matrix, because sharding
+  partitions rows and the Figure 2 rule is row-local;
+* **scaling** -- under the distributed-parallel reading (shards are
+  independent units, a fanned-out batch costs its slowest shard), the
+  aggregate throughput beats the single service.  The in-process serial
+  throughput (routing included) is reported too, honestly: a single
+  Python process does not get parallel wall-clock wins;
+* **failover** -- with one shard marked down, its queries degrade to
+  default plans with no errors while every other query's decision is
+  unchanged.
+
+``benchmarks/test_cluster_scaling.py`` prints the table, asserts the
+thresholds, and writes ``BENCH_cluster.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..cluster import ServingCluster
+from ..core.workload_matrix import WorkloadMatrix
+from ..errors import ExperimentError
+from ..serving.service import ServingService
+from ..workloads.matrices import SyntheticWorkload
+from .serving import explored_matrix
+
+
+def populate_cluster(
+    cluster: ServingCluster,
+    tenant: str,
+    matrix: WorkloadMatrix,
+    query_names=None,
+) -> None:
+    """Register a tenant for ``matrix``'s queries and feed its observations.
+
+    After this, the cluster's shard-resident rows for ``tenant`` hold
+    exactly the observed and censored state of ``matrix`` (verified by
+    :meth:`ServingCluster.export_tenant_matrix` round-trips in the tests).
+    """
+    names = (
+        list(query_names)
+        if query_names is not None
+        else [f"q{i}" for i in range(matrix.n_queries)]
+    )
+    cluster.add_tenant(tenant, names)
+    rows, cols = np.nonzero(matrix.mask > 0)
+    if rows.size:
+        cluster.observe_batch(tenant, rows, cols, matrix.values[rows, cols])
+    censored = matrix.censored_mask
+    timeouts = matrix.timeout_matrix
+    for q, h in zip(*np.nonzero(censored)):
+        cluster.observe_censored(tenant, int(q), int(h), float(timeouts[q, h]))
+
+
+def cluster_vs_single_comparison(
+    workload: SyntheticWorkload,
+    n_shards: int = 4,
+    batch_size: int = 16384,
+    n_batches: int = 16,
+    observed_fraction: float = 0.25,
+    regression_margin: float = 1.0,
+    seed: int = 0,
+    matrix: Optional[WorkloadMatrix] = None,
+    timing_reps: int = 3,
+) -> Dict[str, float]:
+    """Serve one arrival stream through both topologies; compare everything.
+
+    Each timed sweep (single service, cluster) runs ``timing_reps`` times
+    and the fastest wall is kept -- minimum-of-repetitions is the standard
+    way to suppress scheduler noise when the measured quantity is
+    deterministic work.  Decisions are identical across reps, so the
+    equivalence checks use the last rep.
+
+    Returns a flat dictionary (benchmark-JSON friendly) with the
+    equivalence flag, single / in-process / parallel-aggregate
+    throughputs, the failover outcome, and the cluster telemetry.
+    """
+    if n_shards < 1 or batch_size < 1 or n_batches < 1 or timing_reps < 1:
+        raise ExperimentError(
+            "n_shards, batch_size, n_batches, timing_reps must be >= 1"
+        )
+    if matrix is None:
+        matrix = explored_matrix(
+            workload, observed_fraction=observed_fraction, seed=seed
+        )
+    tenant = "tenant0"
+    cluster = ServingCluster(
+        n_shards=n_shards,
+        n_hints=matrix.n_hints,
+        regression_margin=regression_margin,
+    )
+    populate_cluster(cluster, tenant, matrix)
+
+    rng = np.random.default_rng(seed + 1)
+    arrivals = rng.integers(0, matrix.n_queries, size=(n_batches, batch_size))
+
+    # Single service over the union matrix: the PR 1 one-shard unit.  Busy
+    # time is the service's own recorder (inside serve_batch), symmetric
+    # with how the per-shard busy times are measured below.
+    single = ServingService(matrix.copy(), regression_margin=regression_margin)
+    single.serve_batch(arrivals[0])  # warm the snapshot outside the clock
+    single_seconds = float("inf")
+    for _ in range(timing_reps):
+        single.reset_stats()
+        single_results = [single.serve_batch(batch) for batch in arrivals]
+        single_seconds = min(single_seconds, single.stats().wall_seconds)
+    single_hints = np.concatenate([d.hints for d in single_results])
+    single_default = np.concatenate([d.used_default for d in single_results])
+    single_expected = np.concatenate([d.expected_latency for d in single_results])
+
+    # The cluster, healthy: same stream, split / regathered per shard.  The
+    # in-process wall (routing included) is timed around the loop; the
+    # per-shard busy times accumulate in each shard's recorder, and the
+    # parallel model charges a sweep its slowest shard.
+    cluster.serve_batch(tenant, arrivals[0])  # warm every shard snapshot
+    cluster_seconds = float("inf")
+    slowest_shard_seconds = float("inf")
+    for _ in range(timing_reps):
+        for shard in cluster.shards.values():
+            shard.recorder().reset()
+        start = time.perf_counter()
+        cluster_results = [
+            cluster.serve_batch(tenant, batch) for batch in arrivals
+        ]
+        cluster_seconds = min(
+            cluster_seconds, time.perf_counter() - start
+        )
+        slowest_shard_seconds = min(
+            slowest_shard_seconds,
+            max(s.stats().wall_seconds for s in cluster.shards.values()),
+        )
+    cluster_hints = np.concatenate([d.hints for d in cluster_results])
+    cluster_default = np.concatenate([d.used_default for d in cluster_results])
+    cluster_expected = np.concatenate(
+        [d.expected_latency for d in cluster_results]
+    )
+
+    identical = bool(
+        np.array_equal(single_hints, cluster_hints)
+        and np.array_equal(single_default, cluster_default)
+        and np.array_equal(single_expected, cluster_expected)
+    )
+    stats = cluster.stats()
+
+    # Failover: kill one shard, re-serve, verify degradation semantics.
+    down_shard = cluster.shard_ids[0]
+    directory = cluster._tenants[tenant]
+    cluster.mark_down(down_shard)
+    degraded_ok = True
+    try:
+        for i, batch in enumerate(arrivals[: max(1, n_batches // 4)]):
+            decisions = cluster.serve_batch(tenant, batch)
+            on_down = directory.shard_of[batch] == down_shard
+            sl = slice(i * batch_size, (i + 1) * batch_size)
+            if not bool(decisions.used_default[on_down].all()):
+                degraded_ok = False
+            if not bool(
+                (decisions.hints[on_down] == cluster.default_hint).all()
+            ):
+                degraded_ok = False
+            # Queries on healthy shards are untouched by the outage.
+            if not bool(
+                np.array_equal(
+                    decisions.hints[~on_down], cluster_hints[sl][~on_down]
+                )
+            ):
+                degraded_ok = False
+    except Exception:
+        degraded_ok = False
+    cluster.mark_up(down_shard)
+    after_recovery = cluster.serve_batch(tenant, arrivals[0])
+    recovered = bool(
+        np.array_equal(after_recovery.hints, single_hints[:batch_size])
+    )
+
+    # Live shard addition: only re-routed rows migrate, decisions unchanged.
+    cluster.add_shard()
+    after_rebalance = cluster.serve_batch(tenant, arrivals[0])
+    rebalance_ok = bool(
+        np.array_equal(after_rebalance.hints, single_hints[:batch_size])
+        and np.array_equal(
+            after_rebalance.expected_latency, single_expected[:batch_size]
+        )
+    )
+    degraded_stats = cluster.stats()
+
+    total = arrivals.size
+    single_qps = total / single_seconds if single_seconds > 0 else float("inf")
+    inprocess_qps = (
+        total / cluster_seconds if cluster_seconds > 0 else float("inf")
+    )
+    parallel_qps = (
+        total / slowest_shard_seconds
+        if slowest_shard_seconds > 0
+        else float("inf")
+    )
+    return {
+        "queries": float(matrix.n_queries),
+        "hints": float(matrix.n_hints),
+        "n_shards": float(n_shards),
+        "batch_size": float(batch_size),
+        "decisions": float(total),
+        "identical": float(identical),
+        "single_qps": single_qps,
+        "cluster_inprocess_qps": inprocess_qps,
+        "parallel_qps": parallel_qps,
+        "parallel_speedup": (
+            parallel_qps / single_qps if single_qps > 0 else float("inf")
+        ),
+        "routing_overhead": (
+            cluster_seconds / single_seconds
+            if single_seconds > 0
+            else float("inf")
+        ),
+        "fan_out": stats.fan_out,
+        "p50_latency_us": stats.cluster.p50_latency_s * 1e6,
+        "p99_latency_us": stats.cluster.p99_latency_s * 1e6,
+        "non_default_fraction": stats.cluster.non_default_fraction,
+        "degraded_ok": float(degraded_ok),
+        "recovered": float(recovered),
+        "rebalance_ok": float(rebalance_ok),
+        "degraded_decisions": float(degraded_stats.degraded_decisions),
+        "rebalanced_rows": float(degraded_stats.rebalanced_rows),
+    }

@@ -23,7 +23,7 @@ from ..core.matrix_completion import (
     SVTCompleter,
     completion_mse,
 )
-from ..core.policies import GreedyPolicy, LimeQOPolicy
+from ..core.policies import LimeQOPolicy
 from ..core.predictors import ALSPredictor
 from ..core.simulation import ExplorationSimulator
 from ..core.workload_matrix import WorkloadMatrix
@@ -41,7 +41,6 @@ from ..workloads.spec import (
     CEB_SPEC,
     DSB_SPEC,
     JOB_SPEC,
-    STACK_2017_SPEC,
     STACK_SPEC,
     get_spec,
 )

@@ -9,7 +9,7 @@ function exists because a real PostgreSQL plan can contain unary nodes
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -61,7 +61,9 @@ class BatchDecisions:
     @property
     def non_default_count(self) -> int:
         """How many arrivals got a verified non-default plan."""
-        return int((~self.used_default).sum())
+        # Counted as batch minus defaults: summing the existing bool array
+        # avoids materialising its inverse on the serve hot path.
+        return int(self.used_default.shape[0] - self.used_default.sum())
 
     def to_decisions(self) -> List[CacheDecision]:
         """Materialise scalar :class:`CacheDecision` objects (for tests/logs)."""

@@ -109,6 +109,11 @@ class ServingService:
         decisions with model-predicted latencies.
     clock:
         Injectable time source for the latency telemetry (tests use a fake).
+    recorder:
+        Optional externally owned :class:`LatencyRecorder`.  A cluster
+        shard passes its own so telemetry survives the service being
+        rebuilt (e.g. after every row migrates away); by default the
+        service owns a fresh one.
     """
 
     def __init__(
@@ -119,6 +124,7 @@ class ServingService:
         refresher: Optional[IncrementalALSRefresher] = None,
         estimator: Optional[BatchedLatencyEstimator] = None,
         clock=time.perf_counter,
+        recorder: Optional[LatencyRecorder] = None,
     ) -> None:
         self.matrix = matrix
         self.cache = BatchedPlanCache(
@@ -127,7 +133,7 @@ class ServingService:
         self.refresher = refresher
         self.estimator = estimator
         self._clock = clock
-        self._recorder = LatencyRecorder()
+        self._recorder = recorder if recorder is not None else LatencyRecorder()
 
     # -- the hot path ---------------------------------------------------------
     def serve_batch(self, queries, annotate: bool = False) -> BatchDecisions:
@@ -191,6 +197,30 @@ class ServingService:
         if self.refresher is None:
             raise ServingError("completed_matrix requires an ALS refresher")
         return self.refresher.completed_matrix(self.matrix)
+
+    # -- shard-embedding hooks -------------------------------------------------
+    def refresh_now(self) -> bool:
+        """Run the attached refresher against the current matrix state.
+
+        The hook a background scheduler (e.g. the cluster's
+        :class:`~repro.cluster.scheduler.RefreshScheduler`) calls *between*
+        serve batches: feedback is recorded with ``refresh=False`` on the
+        hot path and the ALS work happens here instead.  Returns True when
+        a solve actually ran (the matrix had changed), False for a no-op.
+        """
+        if self.refresher is None:
+            raise ServingError("refresh_now requires an ALS refresher")
+        before = self.refresher.cold_solves + self.refresher.warm_refreshes
+        self.refresher.refresh(self.matrix)
+        ran = (self.refresher.cold_solves + self.refresher.warm_refreshes) > before
+        if ran:
+            self._recorder.record_refresh()
+        return ran
+
+    @property
+    def recorder(self) -> LatencyRecorder:
+        """The raw latency recorder (cluster aggregators pool these)."""
+        return self._recorder
 
     # -- telemetry ----------------------------------------------------------------
     def stats(self) -> ServingStats:

@@ -10,7 +10,7 @@ immutable report derived from them on demand.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, Iterable, List, Sequence, Union
 
 import numpy as np
 
@@ -48,18 +48,66 @@ class ServingStats:
     non_default_fraction: float
     refreshes: int
 
-    def as_dict(self) -> Dict[str, float]:
-        """Plain dictionary for dashboards and log lines."""
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        """Plain dictionary for dashboards and log lines.
+
+        Counters (``decisions``, ``batches``, ``refreshes``) stay integers;
+        only the genuinely continuous fields are floats.
+        """
         return {
-            "decisions": float(self.decisions),
-            "batches": float(self.batches),
+            "decisions": int(self.decisions),
+            "batches": int(self.batches),
             "wall_seconds": self.wall_seconds,
             "throughput_qps": self.throughput_qps,
             "p50_latency_s": self.p50_latency_s,
             "p99_latency_s": self.p99_latency_s,
             "non_default_fraction": self.non_default_fraction,
-            "refreshes": float(self.refreshes),
+            "refreshes": int(self.refreshes),
         }
+
+    @classmethod
+    def merge(cls, parts: Iterable["ServingStats"]) -> "ServingStats":
+        """Fold per-shard reports into one cluster-wide report.
+
+        Counters (decisions, batches, wall time, refreshes) merge exactly;
+        throughput and the hit rate are recomputed from the merged counters.
+        The percentiles are combined as a decision-weighted percentile of
+        the per-part percentiles -- exact when every part is internally
+        uniform, an approximation otherwise.  Aggregators holding the raw
+        recorders (:meth:`LatencyRecorder.merged`) can recompute them
+        exactly and overwrite these two fields.
+        """
+        parts = list(parts)
+        decisions = sum(p.decisions for p in parts)
+        batches = sum(p.batches for p in parts)
+        wall = float(sum(p.wall_seconds for p in parts))
+        refreshes = sum(p.refreshes for p in parts)
+        if decisions == 0:
+            return cls(
+                decisions=0,
+                batches=batches,
+                wall_seconds=wall,
+                throughput_qps=0.0,
+                p50_latency_s=0.0,
+                p99_latency_s=0.0,
+                non_default_fraction=0.0,
+                refreshes=refreshes,
+            )
+        served = [p for p in parts if p.decisions > 0]
+        weights = [p.decisions for p in served]
+        p50 = _weighted_percentiles([p.p50_latency_s for p in served], weights, [50.0])[0]
+        p99 = _weighted_percentiles([p.p99_latency_s for p in served], weights, [99.0])[0]
+        non_default = sum(p.non_default_fraction * p.decisions for p in served)
+        return cls(
+            decisions=int(decisions),
+            batches=int(batches),
+            wall_seconds=wall,
+            throughput_qps=decisions / wall if wall > 0 else float("inf"),
+            p50_latency_s=float(p50),
+            p99_latency_s=float(p99),
+            non_default_fraction=float(non_default) / decisions,
+            refreshes=int(refreshes),
+        )
 
     def __str__(self) -> str:
         return (
@@ -157,3 +205,20 @@ class LatencyRecorder:
         self._batch_seconds.clear()
         self._non_default.clear()
         self._refreshes = 0
+
+    @classmethod
+    def merged(cls, recorders: Sequence["LatencyRecorder"]) -> "LatencyRecorder":
+        """Pool raw batch samples from many recorders into a fresh one.
+
+        Unlike :meth:`ServingStats.merge`, the pooled recorder's
+        :meth:`report` computes the global percentiles *exactly* -- this is
+        what the cluster aggregator uses when it holds every shard
+        in-process and the raw samples are still available.
+        """
+        pooled = cls()
+        for recorder in recorders:
+            pooled._batch_sizes.extend(recorder._batch_sizes)
+            pooled._batch_seconds.extend(recorder._batch_seconds)
+            pooled._non_default.extend(recorder._non_default)
+            pooled._refreshes += recorder._refreshes
+        return pooled

@@ -18,7 +18,7 @@ already optimal for them, which is what defeats the Greedy baseline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

@@ -7,7 +7,7 @@ from repro.db.catalog import Column, Table
 from repro.db.cost_model import CostConstants, CostModel, LatencyModel, MachineProfile
 from repro.db.datagen import make_catalog
 from repro.db.hints import default_hint_set
-from repro.db.operators import JoinOperator, ScanOperator
+from repro.db.operators import ScanOperator
 from repro.db.optimizer import PlanEnumerator
 from repro.db.query import QueryGenerator
 from repro.errors import ExecutionError

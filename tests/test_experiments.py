@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.config import ALSConfig, TCNNConfig
+from repro.config import TCNNConfig
 from repro.errors import ExperimentError
 from repro.experiments import figures
 from repro.experiments.reporting import (

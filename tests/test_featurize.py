@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.db.hints import all_hint_sets
 from repro.errors import PlanError
 from repro.plans.featurize import (
     NODE_FEATURE_DIM,

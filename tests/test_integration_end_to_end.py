@@ -1,6 +1,5 @@
 """Integration tests: the whole pipeline on both workload paths."""
 
-import numpy as np
 import pytest
 
 from repro.config import ALSConfig, ExplorationConfig

@@ -12,7 +12,7 @@ from repro.core.policies import (
     QOAdvisorPolicy,
     RandomPolicy,
 )
-from repro.core.predictors import ALSPredictor, MeanPredictor
+from repro.core.predictors import MeanPredictor
 from repro.core.workload_matrix import WorkloadMatrix
 from repro.errors import ExplorationError
 
