@@ -8,6 +8,7 @@ hyper-parameters) lives here so experiments can be described declaratively.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from .errors import ConfigError
 
@@ -22,6 +23,13 @@ class ALSConfig:
     15 fill-in iterations are sufficient and noticeably more robust in the
     very sparse cold-start regime, so that is the default; pass
     ``iterations=50`` to match the paper exactly.
+
+    ``tol`` enables an early stop on the objective trace: when the relative
+    decrease of the masked squared error between consecutive iterations
+    falls below ``tol``, the solve returns early (the trace is then shorter
+    than ``iterations``).  The default of 0 disables the early stop so the
+    iteration count -- and therefore the factor trajectory -- is exactly
+    reproducible.
     """
 
     rank: int = 5
@@ -29,6 +37,7 @@ class ALSConfig:
     iterations: int = 15
     nonnegative: bool = True
     censored: bool = True
+    tol: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -40,16 +49,34 @@ class ALSConfig:
             )
         if self.iterations < 1:
             raise ConfigError(f"iterations must be >= 1, got {self.iterations}")
+        if self.tol < 0:
+            raise ConfigError(f"tol must be >= 0, got {self.tol}")
 
 
 @dataclass(frozen=True)
 class ExplorationConfig:
-    """Knobs of the offline exploration loop (paper Algorithm 1)."""
+    """Knobs of the offline exploration loop (paper Algorithm 1).
+
+    The ``incremental_als`` family controls the warm-started incremental
+    predictor path: instead of re-solving the factorisation cold on every
+    exploration step, an :class:`~repro.core.predictors.ALSPredictor`
+    attached to the explorer carries its ``(Q, H)`` factors across steps and
+    runs ``als_refresh_iterations`` fill-in iterations per step, with a full
+    cold re-solve every ``als_full_solve_every`` refreshes to bound drift.
+    All three default to ``None`` meaning *leave the predictor's own
+    settings alone* (the predictor's constructor defaults are warm starts
+    with 5 refresh iterations and a full solve every 10); set a value to
+    override whatever the predictor was built with when it attaches to an
+    explorer.
+    """
 
     batch_size: int = 10
     timeout_alpha: float = 2.0
     allow_random_fill: bool = True
     max_steps: int = 10_000
+    incremental_als: Optional[bool] = None
+    als_refresh_iterations: Optional[int] = None
+    als_full_solve_every: Optional[int] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -61,6 +88,15 @@ class ExplorationConfig:
             )
         if self.max_steps < 1:
             raise ConfigError(f"max_steps must be >= 1, got {self.max_steps}")
+        if self.als_refresh_iterations is not None and self.als_refresh_iterations < 1:
+            raise ConfigError(
+                "als_refresh_iterations must be >= 1, got "
+                f"{self.als_refresh_iterations}"
+            )
+        if self.als_full_solve_every is not None and self.als_full_solve_every < 1:
+            raise ConfigError(
+                f"als_full_solve_every must be >= 1, got {self.als_full_solve_every}"
+            )
 
 
 @dataclass(frozen=True)

@@ -77,16 +77,6 @@ def _validate_inputs(
     return timeouts
 
 
-def _apply_censoring(estimate: np.ndarray, timeouts: np.ndarray) -> np.ndarray:
-    """Clamp censored entries up to their timeout lower bound (lines 4-5, 9-10)."""
-    censored = timeouts > 0
-    if not censored.any():
-        return estimate
-    clamped = estimate.copy()
-    clamped[censored] = np.maximum(clamped[censored], timeouts[censored])
-    return clamped
-
-
 def censored_als(
     observed: np.ndarray,
     mask: np.ndarray,
@@ -185,29 +175,61 @@ def censored_als(
     reg = config.regularization * np.eye(rank)
     objective_trace = []
 
-    def _fill(current_q: np.ndarray, current_h: np.ndarray) -> np.ndarray:
-        estimate = mask * observed_filled + (1.0 - mask) * (current_q @ current_h.T)
-        return _apply_censoring(estimate, timeouts)
+    # Hot-loop precomputation: the observed and censored index sets are
+    # fixed for the whole solve, so the per-half-iteration fill-in reduces
+    # to one BLAS matmul into a preallocated buffer plus two fancy-indexed
+    # scatters -- no full n x k temporaries.  The mask is interpreted as
+    # binary (any positive entry means observed), which is the contract
+    # every caller already follows.
+    obs_rows, obs_cols = np.nonzero(mask > 0)
+    obs_vals = observed_filled[obs_rows, obs_cols]
+    cen_rows, cen_cols = np.nonzero(timeouts > 0)
+    cen_vals = timeouts[cen_rows, cen_cols]
 
+    estimate = np.empty((n, k))
+    completed = np.empty((n, k))
+
+    def _fill_from_estimate() -> None:
+        """``completed`` <- observed values where known, censored-clamped
+        ``estimate`` elsewhere (Algorithm 2 lines 4-5 and 9-10)."""
+        np.copyto(completed, estimate)
+        completed[obs_rows, obs_cols] = obs_vals
+        if cen_rows.size:
+            completed[cen_rows, cen_cols] = np.maximum(
+                completed[cen_rows, cen_cols], cen_vals
+            )
+
+    np.matmul(query_factors, hint_factors.T, out=estimate)
     for _ in range(n_iterations):
-        completed = _fill(query_factors, hint_factors)
+        _fill_from_estimate()
         gram_h = hint_factors.T @ hint_factors + reg
-        query_factors = completed @ hint_factors @ np.linalg.inv(gram_h)
+        # ``A @ inv(G)`` for symmetric G is ``solve(G, A.T).T``: one
+        # Cholesky/LU factorisation instead of a full matrix inverse.
+        query_factors = np.linalg.solve(gram_h, (completed @ hint_factors).T).T
         if config.nonnegative:
             np.maximum(query_factors, 0.0, out=query_factors)
 
-        completed = _fill(query_factors, hint_factors)
+        np.matmul(query_factors, hint_factors.T, out=estimate)
+        _fill_from_estimate()
         gram_q = query_factors.T @ query_factors + reg
-        hint_factors = completed.T @ query_factors @ np.linalg.inv(gram_q)
+        hint_factors = np.linalg.solve(gram_q, (completed.T @ query_factors).T).T
         if config.nonnegative:
             np.maximum(hint_factors, 0.0, out=hint_factors)
 
-        estimate = query_factors @ hint_factors.T
-        residual = mask * (observed_filled - estimate)
+        # The product for the objective doubles as the next iteration's
+        # (and the final) fill-in estimate.
+        np.matmul(query_factors, hint_factors.T, out=estimate)
+        residual = obs_vals - estimate[obs_rows, obs_cols]
         objective = float((residual ** 2).sum())
         objective_trace.append(objective)
+        if config.tol > 0 and len(objective_trace) >= 2:
+            previous = objective_trace[-2]
+            if previous <= 0:
+                break
+            if (previous - objective) / previous < config.tol:
+                break
 
-    completed = _fill(query_factors, hint_factors)
+    _fill_from_estimate()
     return CensoredALSResult(
         completed=completed,
         query_factors=query_factors,

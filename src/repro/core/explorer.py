@@ -28,7 +28,14 @@ from .workload_matrix import WorkloadMatrix
 
 
 class ExecutionOracle(Protocol):
-    """Anything that can execute one workload-matrix cell with a timeout."""
+    """Anything that can execute one workload-matrix cell with a timeout.
+
+    The scalar :meth:`execute` is the whole required surface.  Oracles may
+    *additionally* provide an ``execute_many(queries, hints, timeouts)``
+    batch entry point (both built-in oracles do); the explorer discovers it
+    dynamically and falls back to per-cell :meth:`execute` calls when it is
+    absent, so scalar-only oracles keep working unchanged.
+    """
 
     def execute(
         self, query: int, hint: int, timeout: Optional[float] = None
@@ -62,6 +69,41 @@ class MatrixOracle:
             return ExecutionResult(latency=latency, timed_out=True, charged_time=float(timeout))
         return ExecutionResult(latency=latency, timed_out=False, charged_time=latency)
 
+    def execute_many(
+        self,
+        queries: Sequence[int],
+        hints: Sequence[int],
+        timeouts: Optional[Sequence[Optional[float]]] = None,
+    ) -> List[ExecutionResult]:
+        """Vectorised batch execution: one gather + one comparison pass."""
+        query_idx = np.asarray(queries, dtype=np.int64)
+        hint_idx = np.asarray(hints, dtype=np.int64)
+        if query_idx.shape != hint_idx.shape or query_idx.ndim != 1:
+            raise ExplorationError(
+                "execute_many needs matching 1-D query and hint index arrays"
+            )
+        if query_idx.size == 0:
+            return []
+        latencies = self.true_latencies[query_idx, hint_idx]
+        if timeouts is None:
+            bounds = np.full(query_idx.size, np.inf)
+        else:
+            if len(timeouts) != query_idx.size:
+                raise ExplorationError(
+                    f"got {len(timeouts)} timeouts for {query_idx.size} cells"
+                )
+            bounds = np.array(
+                [np.inf if t is None or t <= 0 else float(t) for t in timeouts]
+            )
+        timed_out = latencies >= bounds
+        charged = np.where(timed_out, bounds, latencies)
+        return [
+            ExecutionResult(
+                latency=float(lat), timed_out=bool(out), charged_time=float(chg)
+            )
+            for lat, out, chg in zip(latencies, timed_out, charged)
+        ]
+
 
 class DatabaseOracle:
     """Oracle backed by the simulated DBMS (planner + execution engine)."""
@@ -93,6 +135,22 @@ class DatabaseOracle:
         return self.executor.execute_with_hint(
             self.queries[query], self.hint_sets[hint], timeout=timeout
         )
+
+    def execute_many(
+        self,
+        queries: Sequence[int],
+        hints: Sequence[int],
+        timeouts: Optional[Sequence[Optional[float]]] = None,
+    ) -> List[ExecutionResult]:
+        """Loop fallback: a real DBMS executes one plan at a time."""
+        queries = list(queries)
+        hints = list(hints)
+        if timeouts is None:
+            timeouts = [None] * len(queries)
+        return [
+            self.execute(int(q), int(h), timeout=t)
+            for q, h, t in zip(queries, hints, timeouts)
+        ]
 
 
 @dataclass
@@ -140,6 +198,7 @@ class OfflineExplorer:
         self.policy = policy
         self.oracle = oracle
         self.config = config or ExplorationConfig()
+        self.policy.configure(self.config)
         self._rng = np.random.default_rng(self.config.seed)
         self._steps: List[ExplorationStep] = []
         self._cumulative_time = 0.0
@@ -172,16 +231,22 @@ class OfflineExplorer:
         timeouts_used: List[Optional[float]] = []
         time_delta = 0.0
         predicted = self.policy.last_prediction
-        for query, hint in selected:
-            timeout = self._timeout_for(query, hint, predicted)
-            result = self.oracle.execute(query, hint, timeout=timeout)
-            if result.timed_out:
-                self.matrix.observe_censored(query, hint, result.charged_time)
-            else:
-                self.matrix.observe(query, hint, result.latency)
-            results.append(result)
-            timeouts_used.append(timeout)
-            time_delta += result.charged_time
+        # Cells are executed in sub-batches of distinct rows: a timeout
+        # depends only on its own row's state (row minimum, observation
+        # count), so batching cells that touch different rows is exactly
+        # equivalent to the historical one-cell-at-a-time loop, while a
+        # repeated row starts a new sub-batch so its timeout still sees the
+        # earlier observation.  In practice policies pick one cell per query
+        # and the whole step is a single ``execute_many`` call.
+        for chunk in self._row_distinct_chunks(selected):
+            chunk_timeouts = [
+                self._timeout_for(query, hint, predicted) for query, hint in chunk
+            ]
+            chunk_results = self._execute_chunk(chunk, chunk_timeouts)
+            self._record_chunk(chunk, chunk_results)
+            results.extend(chunk_results)
+            timeouts_used.extend(chunk_timeouts)
+            time_delta += sum(r.charged_time for r in chunk_results)
 
         self._cumulative_time += time_delta
         step = ExplorationStep(
@@ -214,6 +279,61 @@ class OfflineExplorer:
             taken.append(step)
         return taken
 
+    # -- batched execution helpers ------------------------------------------
+    @staticmethod
+    def _row_distinct_chunks(
+        selected: Sequence[Tuple[int, int]]
+    ) -> List[List[Tuple[int, int]]]:
+        """Split ``selected`` (order preserved) at repeated query rows."""
+        chunks: List[List[Tuple[int, int]]] = []
+        current: List[Tuple[int, int]] = []
+        seen_rows: set = set()
+        for pair in selected:
+            if pair[0] in seen_rows:
+                chunks.append(current)
+                current = []
+                seen_rows = set()
+            current.append(pair)
+            seen_rows.add(pair[0])
+        if current:
+            chunks.append(current)
+        return chunks
+
+    def _execute_chunk(
+        self,
+        chunk: Sequence[Tuple[int, int]],
+        timeouts: Sequence[Optional[float]],
+    ) -> List[ExecutionResult]:
+        """Run one sub-batch through the oracle's fastest entry point."""
+        execute_many = getattr(self.oracle, "execute_many", None)
+        if execute_many is not None:
+            return execute_many(
+                [q for q, _ in chunk], [h for _, h in chunk], timeouts
+            )
+        return [
+            self.oracle.execute(query, hint, timeout=timeout)
+            for (query, hint), timeout in zip(chunk, timeouts)
+        ]
+
+    def _record_chunk(
+        self,
+        chunk: Sequence[Tuple[int, int]],
+        results: Sequence[ExecutionResult],
+    ) -> None:
+        """Feed a sub-batch's results into the matrix (batched where possible)."""
+        completed_q: List[int] = []
+        completed_h: List[int] = []
+        completed_lat: List[float] = []
+        for (query, hint), result in zip(chunk, results):
+            if result.timed_out:
+                self.matrix.observe_censored(query, hint, result.charged_time)
+            else:
+                completed_q.append(query)
+                completed_h.append(hint)
+                completed_lat.append(result.latency)
+        if completed_q:
+            self.matrix.observe_batch(completed_q, completed_h, completed_lat)
+
     # -- results -------------------------------------------------------------------
     def recommend_hints(self, default_hint: int = 0) -> List[int]:
         """Best observed hint per query; the default hint when nothing observed.
@@ -223,11 +343,8 @@ class OfflineExplorer:
         latency beats every other observation for that query, including the
         default plan's.
         """
-        hints = []
-        for query in range(self.matrix.n_queries):
-            best = self.matrix.best_hint(query)
-            hints.append(default_hint if best is None else best)
-        return hints
+        best = self.matrix.best_hint_array()
+        return [default_hint if h < 0 else int(h) for h in best]
 
     # -- internals -------------------------------------------------------------------
     def _timeout_for(

@@ -16,13 +16,13 @@ by :class:`~repro.core.workload_matrix.WorkloadMatrix`.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..config import ALSConfig
 from ..errors import CompletionError
-from .als import censored_als
+from .als import CensoredALSResult, censored_als
 
 
 class MatrixCompleter(ABC):
@@ -65,9 +65,32 @@ class ALSCompleter(MatrixCompleter):
         mask: np.ndarray,
         timeouts: Optional[np.ndarray] = None,
     ) -> np.ndarray:
+        return self.complete_result(observed, mask, timeouts).completed
+
+    def complete_result(
+        self,
+        observed: np.ndarray,
+        mask: np.ndarray,
+        timeouts: Optional[np.ndarray] = None,
+        warm_start: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        iterations: Optional[int] = None,
+    ) -> CensoredALSResult:
+        """Full solver output, including the ``(Q, H)`` factor pair.
+
+        ``warm_start`` and ``iterations`` pass straight through to
+        :func:`~repro.core.als.censored_als`; callers that carry factors
+        across solves (the incremental predictor, the serving refresher) use
+        this entry point so the factors survive the completion step.
+        """
         self._validate(observed, mask)
-        result = censored_als(observed, mask, timeouts, self.config)
-        return result.completed
+        return censored_als(
+            observed,
+            mask,
+            timeouts,
+            self.config,
+            warm_start=warm_start,
+            iterations=iterations,
+        )
 
 
 class SVTCompleter(MatrixCompleter):

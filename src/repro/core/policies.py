@@ -22,7 +22,7 @@ import numpy as np
 from ..config import ALSConfig
 from ..errors import ExplorationError
 from .predictors import ALSPredictor, Predictor
-from .scoring import expected_improvement_ratios, predicted_best_hints
+from .scoring import expected_improvement_ratios
 from .workload_matrix import WorkloadMatrix
 
 Candidate = Tuple[int, int]
@@ -44,6 +44,37 @@ class ExplorationPolicy:
         """Return up to ``batch_size`` unexplored (query, hint) cells."""
         raise NotImplementedError
 
+    def configure(self, config) -> None:
+        """Adopt exploration-loop knobs (called when attached to an explorer).
+
+        The default implementation forwards the ``incremental_als`` family
+        of :class:`~repro.config.ExplorationConfig` knobs to the policy's
+        predictor when it supports warm-started refreshes (the censored-ALS
+        predictor does); model-free policies ignore it.  Knobs left at
+        ``None`` do not touch the predictor, so explicitly constructed
+        settings (e.g. ``ALSPredictor(warm_start=False)`` for the
+        paper-exact cold baseline) survive attachment to an explorer.
+        """
+        predictor = getattr(self, "predictor", None)
+        if predictor is None or not hasattr(predictor, "set_incremental"):
+            return
+        if (
+            config.incremental_als is None
+            and config.als_refresh_iterations is None
+            and config.als_full_solve_every is None
+        ):
+            return
+        enabled = (
+            predictor.warm_start
+            if config.incremental_als is None
+            else config.incremental_als
+        )
+        predictor.set_incremental(
+            enabled,
+            refresh_iterations=config.als_refresh_iterations,
+            full_solve_every=config.als_full_solve_every,
+        )
+
     # -- shared helpers ------------------------------------------------------
     @property
     def last_prediction(self) -> Optional[np.ndarray]:
@@ -62,16 +93,28 @@ class ExplorationPolicy:
         needed: int,
         rng: np.random.Generator,
     ) -> List[Candidate]:
-        """Uniformly sample additional unexplored cells, avoiding duplicates."""
+        """Uniformly sample additional unexplored cells, avoiding duplicates.
+
+        Works on flat indices into the unknown mask; the pool has the same
+        row-major order (minus ``already``) as the historical list-of-tuples
+        implementation, so the generator draws -- and therefore the sampled
+        cells -- are unchanged.
+        """
         if needed <= 0:
             return []
-        chosen = set(already)
-        pool = [c for c in matrix.unknown_entries() if c not in chosen]
-        if not pool:
+        unknown = matrix.unknown_mask()
+        if already:
+            unknown = unknown.copy()
+            rows = [c[0] for c in already]
+            cols = [c[1] for c in already]
+            unknown[rows, cols] = False
+        pool = np.flatnonzero(unknown)
+        if pool.size == 0:
             return []
-        take = min(needed, len(pool))
-        picks = rng.choice(len(pool), size=take, replace=False)
-        return [pool[int(p)] for p in np.atleast_1d(picks)]
+        take = min(needed, pool.size)
+        picks = pool[np.atleast_1d(rng.choice(pool.size, size=take, replace=False))]
+        n_hints = matrix.n_hints
+        return [(int(p // n_hints), int(p % n_hints)) for p in picks]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
@@ -132,14 +175,17 @@ class QOAdvisorPolicy(ExplorationPolicy):
             raise ExplorationError(
                 "cost matrix column count does not match the workload matrix"
             )
-        candidates = [
-            c for c in matrix.unknown_entries() if c[0] < self.cost_matrix.shape[0]
-        ]
-        if not candidates:
+        unknown = matrix.unknown_mask()
+        if self.cost_matrix.shape[0] < matrix.n_queries:
+            unknown = unknown.copy()
+            unknown[self.cost_matrix.shape[0]:] = False
+        flat = np.flatnonzero(unknown)
+        if flat.size == 0:
             return []
-        costs = np.array([self.cost_matrix[i, j] for i, j in candidates])
-        order = np.argsort(costs)
-        picks = [candidates[int(idx)] for idx in order[:batch_size]]
+        rows, cols = np.divmod(flat, matrix.n_hints)
+        order = np.argsort(self.cost_matrix[rows, cols])
+        top = flat[order[:batch_size]]
+        picks = [(int(p // matrix.n_hints), int(p % matrix.n_hints)) for p in top]
         picks.extend(self._random_fill(matrix, picks, batch_size - len(picks), rng))
         return picks
 
@@ -168,13 +214,12 @@ class BaoCachePolicy(ExplorationPolicy):
     def select(self, matrix, batch_size, rng):
         predicted = self.predictor.predict(matrix)
         self._last_prediction = predicted
-        candidates = matrix.unknown_entries()
-        if not candidates:
+        flat = np.flatnonzero(matrix.unknown_mask())
+        if flat.size == 0:
             return []
-        scores = np.array([predicted[i, j] for i, j in candidates])
-        order = np.argsort(scores)
-        picks = [candidates[int(idx)] for idx in order[:batch_size]]
-        return picks
+        order = np.argsort(predicted.ravel()[flat])
+        top = flat[order[:batch_size]]
+        return [(int(p // matrix.n_hints), int(p % matrix.n_hints)) for p in top]
 
 
 class LimeQOPolicy(ExplorationPolicy):
@@ -206,25 +251,39 @@ class LimeQOPolicy(ExplorationPolicy):
     def select(self, matrix, batch_size, rng):
         predicted = self.predictor.predict(matrix)
         self._last_prediction = predicted
-        best_unknown = predicted_best_hints(matrix, predicted, only_unknown=True)
+
+        # One vectorised pass replaces the per-query Python loop: restrict
+        # the predicted argmin to unexplored cells, compute Equation 6 for
+        # every row, keep rows with positive expected improvement.  The
+        # score array is built in ascending query order with the exact same
+        # float operations as the historical loop, so the argsort (and
+        # therefore the selection) is unchanged.
+        unknown = matrix.unknown_mask()
+        masked = np.where(unknown, predicted, np.inf)
+        best_unknown = masked.argmin(axis=1)
+        has_unknown = unknown.any(axis=1)
         current_best = matrix.row_minima()
 
-        candidates: List[Candidate] = []
-        scores: List[float] = []
-        for query, hint in enumerate(best_unknown):
-            if hint is None:
-                continue
-            predicted_latency = max(float(predicted[query, hint]), 1e-9)
-            if np.isinf(current_best[query]):
-                ratio = np.inf
-            else:
-                ratio = (current_best[query] - predicted_latency) / predicted_latency
-            if ratio > 0:
-                candidates.append((query, int(hint)))
-                scores.append(float(ratio))
+        rows = np.arange(matrix.n_queries)
+        predicted_latency = np.maximum(predicted[rows, best_unknown], 1e-9)
+        with np.errstate(invalid="ignore"):
+            ratios = np.where(
+                np.isinf(current_best),
+                np.inf,
+                (current_best - predicted_latency) / predicted_latency,
+            )
+        eligible = has_unknown & (ratios > 0)
+        candidate_rows = np.nonzero(eligible)[0]
+        scores = ratios[eligible]
 
-        order = np.argsort(-np.asarray(scores)) if scores else np.array([], dtype=int)
-        picks = [candidates[int(idx)] for idx in order[:batch_size]]
+        if scores.size:
+            order = np.argsort(-scores)
+            top_rows = candidate_rows[order[:batch_size]]
+            picks = [
+                (int(q), int(best_unknown[q])) for q in top_rows
+            ]
+        else:
+            picks = []
         if self.allow_random_fill and len(picks) < batch_size:
             picks.extend(
                 self._random_fill(matrix, picks, batch_size - len(picks), rng)

@@ -49,18 +49,18 @@ def predicted_best_hints(
     predicted = np.asarray(predicted, dtype=float)
     if predicted.shape != matrix.shape:
         raise ExplorationError("predicted matrix shape mismatch")
-    choices: List[Optional[int]] = []
-    for i in range(matrix.n_queries):
-        if only_unknown:
-            candidates = matrix.unknown_in_row(i)
-            if not candidates:
-                choices.append(None)
-                continue
-            row = predicted[i, candidates]
-            choices.append(int(candidates[int(np.argmin(row))]))
-        else:
-            choices.append(int(np.argmin(predicted[i])))
-    return choices
+    if not only_unknown:
+        return [int(h) for h in predicted.argmin(axis=1)]
+    # Restricting the argmin with an inf mask preserves the historical
+    # tie-break (first minimal hint in ascending index order) while staying
+    # one vectorised pass instead of a per-row Python loop.
+    unknown = matrix.unknown_mask()
+    masked = np.where(unknown, predicted, np.inf)
+    best = masked.argmin(axis=1)
+    has_unknown = unknown.any(axis=1)
+    return [
+        int(h) if ok else None for h, ok in zip(best.tolist(), has_unknown.tolist())
+    ]
 
 
 def select_top_m(

@@ -49,8 +49,14 @@ class ExplorationTrace:
         return float(self.overheads[idx])
 
     def latencies_at(self, exploration_times: Sequence[float]) -> np.ndarray:
-        """Vectorised :meth:`latency_at`."""
-        return np.array([self.latency_at(t) for t in exploration_times])
+        """Vectorised :meth:`latency_at`: one ``searchsorted`` over all times."""
+        times = np.asarray(exploration_times, dtype=float)
+        if times.size and times.min() < 0:
+            raise ExplorationError("exploration_time must be >= 0")
+        idx = np.searchsorted(self.times, times, side="right") - 1
+        return np.where(
+            idx < 0, self.default_latency, self.latencies[np.maximum(idx, 0)]
+        )
 
     @property
     def final_latency(self) -> float:
@@ -127,11 +133,11 @@ class ExplorationSimulator:
         n, k = self.true_latencies.shape
         matrix = WorkloadMatrix(n, k)
         if self.warm_start_default:
-            for query in range(n):
-                matrix.observe(
-                    query, self.default_hint,
-                    float(self.true_latencies[query, self.default_hint]),
-                )
+            queries = np.arange(n, dtype=np.int64)
+            hints = np.full(n, self.default_hint, dtype=np.int64)
+            matrix.observe_batch(
+                queries, hints, self.true_latencies[:, self.default_hint]
+            )
         return matrix
 
     def run(

@@ -255,10 +255,18 @@ class WorkloadMatrix:
         return float(completed + censored)
 
     # -- unexplored entries -----------------------------------------------------
+    def unknown_mask(self) -> np.ndarray:
+        """Boolean matrix: True where the entry was never executed.
+
+        The vectorised counterpart of :meth:`unknown_entries`; the policy
+        hot path works on this array (and flat indices into it) instead of
+        materialising a Python list of tuples every step.
+        """
+        return ~(self._observed | self._censored)
+
     def unknown_entries(self) -> List[Tuple[int, int]]:
         """(query, hint) pairs never executed (neither observed nor censored)."""
-        unknown = ~(self._observed | self._censored)
-        rows, cols = np.nonzero(unknown)
+        rows, cols = np.nonzero(self.unknown_mask())
         return list(zip(rows.tolist(), cols.tolist()))
 
     def unknown_in_row(self, query: int) -> List[int]:

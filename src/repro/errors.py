@@ -70,3 +70,7 @@ class ServingError(ReproError):
 
 class ClusterError(ReproError):
     """Raised by the sharded multi-tenant serving cluster."""
+
+
+class PerfError(ReproError):
+    """Raised by the performance-regression harness."""

@@ -270,7 +270,9 @@ class Tensor:
                 "gather_nodes expects a (B, N, F) tensor and (B, N) indices"
             )
         batch_index = np.arange(self.data.shape[0])[:, None]
-        out_data = self.data[batch_index, indices]
+        # take_along_axis compiles to one contiguous gather; the advanced-
+        # indexing spelling allocated an intermediate index broadcast.
+        out_data = np.take_along_axis(self.data, indices[:, :, None], axis=1)
 
         def backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)

@@ -63,25 +63,26 @@ class TCNNTrainer:
     def _training_cells(
         self, matrix: WorkloadMatrix
     ) -> Tuple[List[Tuple[int, int]], np.ndarray, np.ndarray]:
-        """Collect (cell, target, threshold) triples from the matrix."""
-        cells: List[Tuple[int, int]] = []
-        targets: List[float] = []
-        thresholds: List[float] = []
-        censored_mask = matrix.censored_mask
-        timeout_matrix = matrix.timeout_matrix
-        for i in range(matrix.n_queries):
-            for j in range(matrix.n_hints):
-                if matrix.is_observed(i, j):
-                    cells.append((i, j))
-                    targets.append(matrix.value(i, j))
-                    thresholds.append(0.0)
-                elif censored_mask[i, j] and self.config.censored:
-                    cells.append((i, j))
-                    targets.append(timeout_matrix[i, j])
-                    thresholds.append(timeout_matrix[i, j])
-        if not cells:
+        """Collect (cell, target, threshold) triples from the matrix.
+
+        One vectorised pass over the matrix views; cells come out in the
+        same row-major order (completed observations taking priority over
+        censored ones) as the historical per-cell double loop.
+        """
+        observed = matrix.mask > 0
+        keep = observed
+        if self.config.censored:
+            keep = observed | matrix.censored_mask
+        rows, cols = np.nonzero(keep)
+        if rows.size == 0:
             raise NeuralNetworkError("no observed cells to train on")
-        return cells, np.asarray(targets), np.asarray(thresholds)
+        values = matrix.values[rows, cols]
+        timeouts = matrix.timeout_matrix[rows, cols]
+        observed_here = observed[rows, cols]
+        targets = np.where(observed_here, values, timeouts)
+        thresholds = np.where(observed_here, 0.0, timeouts)
+        cells = list(zip(rows.tolist(), cols.tolist()))
+        return cells, targets, thresholds
 
     # -- fitting ------------------------------------------------------------------
     def fit(self, matrix: WorkloadMatrix) -> List[float]:
@@ -89,6 +90,14 @@ class TCNNTrainer:
         cells, targets, thresholds = self._training_cells(matrix)
         log_targets = np.log1p(targets)
         log_thresholds = np.where(thresholds > 0, np.log1p(thresholds), 0.0)
+
+        # Featurise and pad the whole training set once; every epoch's
+        # mini-batches are cheap row slices of the packed arrays instead of
+        # a fresh featurise-and-pad pass (the tree convolution is padding-
+        # width invariant, so the losses are identical).
+        packed = self.feature_store.batch(cells)
+        all_query_idx = np.array([c[0] for c in cells], dtype=np.int64)
+        all_hint_idx = np.array([c[1] for c in cells], dtype=np.int64)
 
         self.model.train()
         epoch_losses: List[float] = []
@@ -98,10 +107,9 @@ class TCNNTrainer:
             batch_losses = []
             for start in range(0, len(order), self.config.batch_size):
                 batch_idx = order[start:start + self.config.batch_size]
-                batch_cells = [cells[i] for i in batch_idx]
-                batch = self.feature_store.batch(batch_cells)
-                query_idx = np.array([c[0] for c in batch_cells])
-                hint_idx = np.array([c[1] for c in batch_cells])
+                batch = packed.take(batch_idx)
+                query_idx = all_query_idx[batch_idx]
+                hint_idx = all_hint_idx[batch_idx]
                 predictions = self.model(batch, query_idx, hint_idx)
                 if self.config.censored and (log_thresholds[batch_idx] > 0).any():
                     loss = censored_mse_loss(
@@ -168,10 +176,35 @@ class TCNNTrainer:
             )
         return predictions
 
+    def predict_full(self, matrix: WorkloadMatrix) -> np.ndarray:
+        """Predicted latencies for every cell of the matrix.
+
+        When the feature store caches a pre-packed full-matrix batch
+        (:meth:`~repro.plans.featurize.PlanFeatureStore.full_batch`), the
+        whole pass is array slices and forward passes -- no per-cell Python
+        loop, no repeated padding.  Inference is deterministic per sample
+        (dropout is off in eval mode), so chunk boundaries do not affect the
+        predictions.
+        """
+        n, k = matrix.n_queries, matrix.n_hints
+        full_batch = getattr(self.feature_store, "full_batch", None)
+        if full_batch is None or self.feature_store.shape != (n, k):
+            cells = [(i, j) for i in range(n) for j in range(k)]
+            return self.predict_cells(cells).reshape(n, k)
+
+        packed = full_batch()
+        query_idx = np.repeat(np.arange(n, dtype=np.int64), k)
+        hint_idx = np.tile(np.arange(k, dtype=np.int64), n)
+        predictions = np.empty(n * k)
+        chunk = max(self.config.batch_size, 512)
+        for start in range(0, n * k, chunk):
+            stop = min(start + chunk, n * k)
+            window = slice(start, stop)
+            predictions[window] = self.predict_batch(
+                packed.take(window), query_idx[window], hint_idx[window]
+            )
+        return predictions.reshape(n, k)
+
     def predict_all(self, matrix: WorkloadMatrix) -> np.ndarray:
-        """Predicted latencies for every cell of the matrix."""
-        cells = [
-            (i, j) for i in range(matrix.n_queries) for j in range(matrix.n_hints)
-        ]
-        flat = self.predict_cells(cells)
-        return flat.reshape(matrix.n_queries, matrix.n_hints)
+        """Backwards-compatible alias for :meth:`predict_full`."""
+        return self.predict_full(matrix)

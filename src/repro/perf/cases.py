@@ -1,0 +1,207 @@
+"""The library's named hot paths, packaged as perf cases.
+
+Five paths cover every layer a figure benchmark or the serving stack
+exercises:
+
+* ``als_cold``       -- one full censored-ALS solve from scratch,
+* ``als_warm``       -- a warm-started incremental refresh after a small
+                        feedback batch (the serving/exploration steady state),
+* ``explore_200_steps`` -- the end-to-end offline exploration loop
+                        (Algorithm 1 with the incremental ALS predictor),
+* ``tcnn_predict_full`` -- a full-matrix TCNN prediction pass,
+* ``serve_batch``    -- the batched online serving path.
+
+Two scales are provided: ``smoke`` (seconds, used by the CI perf job) and
+``default`` (the numbers quoted in ``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..config import ALSConfig, ExplorationConfig, TCNNConfig
+from ..core.als import censored_als
+from ..core.policies import LimeQOPolicy
+from ..core.predictors import ALSPredictor
+from ..core.simulation import ExplorationSimulator
+from ..core.workload_matrix import WorkloadMatrix
+from ..errors import PerfError
+from ..serving.service import ServingService
+from ..workloads.matrices import generate_workload
+from ..workloads.spec import WorkloadSpec
+from .harness import PerfHarness
+
+SCALES: Dict[str, Dict[str, int]] = {
+    "smoke": {
+        "n_queries": 60,
+        "n_hints": 16,
+        "explore_steps": 60,
+        "serve_batches": 50,
+        "serve_batch_size": 512,
+        "repeats": 3,
+    },
+    "default": {
+        "n_queries": 150,
+        "n_hints": 24,
+        "explore_steps": 200,
+        "serve_batches": 200,
+        "serve_batch_size": 1024,
+        "repeats": 3,
+    },
+}
+
+
+def _workload(scale: Dict[str, int], seed: int = 11):
+    spec = WorkloadSpec(
+        name=f"perf-{scale['n_queries']}x{scale['n_hints']}",
+        n_queries=scale["n_queries"],
+        n_hints=scale["n_hints"],
+        default_total=10.0 * scale["n_queries"],
+        optimal_total=3.5 * scale["n_queries"],
+        rank=5,
+    )
+    return generate_workload(spec, seed=seed)
+
+
+def _partial_matrix(workload, fill: float = 0.25, seed: int = 3) -> WorkloadMatrix:
+    """A partially observed matrix with a revealed default column and a few
+    censored cells -- the state censored ALS sees mid-exploration."""
+    n, k = workload.true_latencies.shape
+    rng = np.random.default_rng(seed)
+    matrix = WorkloadMatrix(n, k)
+    matrix.observe_batch(
+        np.arange(n), np.zeros(n, dtype=np.int64), workload.true_latencies[:, 0]
+    )
+    extra = rng.random((n, k)) < fill
+    extra[:, 0] = False
+    rows, cols = np.nonzero(extra)
+    matrix.observe_batch(rows, cols, workload.true_latencies[rows, cols])
+    for i in range(0, n, max(1, n // 6)):
+        j = 1 + (i % (k - 1))
+        if not matrix.is_observed(i, j):
+            matrix.observe_censored(i, j, float(workload.true_latencies[i, j]) * 0.5)
+    return matrix
+
+
+def build_suite(scale_name: str = "smoke") -> PerfHarness:
+    """Assemble the named hot-path suite at the requested scale."""
+    if scale_name not in SCALES:
+        raise PerfError(
+            f"unknown scale {scale_name!r}; choose from {sorted(SCALES)}"
+        )
+    scale = SCALES[scale_name]
+    repeats = scale["repeats"]
+    harness = PerfHarness()
+
+    # -- als_cold ----------------------------------------------------------
+    def setup_als():
+        workload = _workload(scale)
+        matrix = _partial_matrix(workload)
+        return (
+            matrix.observed_values(),
+            matrix.mask,
+            matrix.timeout_matrix,
+            ALSConfig(iterations=50),
+        )
+
+    def run_als_cold(state):
+        observed, mask, timeouts, config = state
+        result = censored_als(observed, mask, timeouts, config)
+        return {"iterations": int(len(result.objective_trace))}
+
+    harness.add("als_cold", run_als_cold, setup=setup_als, repeats=repeats)
+
+    # -- als_warm ----------------------------------------------------------
+    def setup_als_warm():
+        workload = _workload(scale)
+        matrix = _partial_matrix(workload)
+        config = ALSConfig(iterations=50)
+        cold = censored_als(
+            matrix.observed_values(), matrix.mask, matrix.timeout_matrix, config
+        )
+        # A small feedback batch lands, then the factors are refreshed warm.
+        rng = np.random.default_rng(17)
+        unknown = np.flatnonzero(matrix.unknown_mask())
+        picks = unknown[rng.choice(unknown.size, size=min(10, unknown.size), replace=False)]
+        rows, cols = np.divmod(picks, matrix.n_hints)
+        matrix.observe_batch(rows, cols, workload.true_latencies[rows, cols])
+        return (
+            matrix.observed_values(),
+            matrix.mask,
+            matrix.timeout_matrix,
+            config,
+            cold.factors,
+        )
+
+    def run_als_warm(state):
+        observed, mask, timeouts, config, factors = state
+        result = censored_als(
+            observed, mask, timeouts, config, warm_start=factors, iterations=5
+        )
+        return {"iterations": int(len(result.objective_trace))}
+
+    harness.add("als_warm", run_als_warm, setup=setup_als_warm, repeats=repeats)
+
+    # -- explore_200_steps -------------------------------------------------
+    def setup_explore():
+        return _workload(scale)
+
+    def run_explore(workload):
+        config = ExplorationConfig(batch_size=4, seed=0)
+        simulator = ExplorationSimulator(workload.true_latencies, config)
+        policy = LimeQOPolicy(predictor=ALSPredictor(ALSConfig(iterations=50)))
+        trace = simulator.run(policy, max_steps=scale["explore_steps"])
+        return {
+            "steps": int(len(trace.times) - 1),
+            "final_latency": float(trace.final_latency),
+        }
+
+    harness.add("explore_200_steps", run_explore, setup=setup_explore, repeats=repeats)
+
+    # -- tcnn_predict_full -------------------------------------------------
+    def setup_tcnn():
+        from ..nn.trainer import TCNNTrainer
+
+        workload = _workload(scale)
+        store = workload.feature_store()
+        matrix = _partial_matrix(workload)
+        config = TCNNConfig(
+            channels=(8,), hidden_units=(16,), max_epochs=2, batch_size=64,
+            dropout=0.0,
+        )
+        trainer = TCNNTrainer(store, matrix.n_queries, matrix.n_hints, config)
+        trainer.fit(matrix)
+        trainer.predict_full(matrix)  # prime the packed full-batch cache
+        return trainer, matrix
+
+    def run_tcnn(state):
+        trainer, matrix = state
+        predictions = trainer.predict_full(matrix)
+        return {"cells": int(predictions.size)}
+
+    harness.add("tcnn_predict_full", run_tcnn, setup=setup_tcnn, repeats=repeats)
+
+    # -- serve_batch -------------------------------------------------------
+    def setup_serving():
+        workload = _workload(scale)
+        matrix = _partial_matrix(workload, fill=0.4)
+        service = ServingService(matrix)
+        rng = np.random.default_rng(5)
+        batches = [
+            rng.integers(0, matrix.n_queries, size=scale["serve_batch_size"])
+            for _ in range(scale["serve_batches"])
+        ]
+        return service, batches
+
+    def run_serving(state):
+        service, batches = state
+        served = 0
+        for batch in batches:
+            served += service.serve_batch(batch).batch_size
+        return {"served": served}
+
+    harness.add("serve_batch", run_serving, setup=setup_serving, repeats=repeats)
+
+    return harness

@@ -63,6 +63,23 @@ class TreeBatch:
         """Padded node count per plan."""
         return self.nodes.shape[1]
 
+    def take(self, index) -> "TreeBatch":
+        """Sub-batch along the plan axis (``index`` is a slice or int array).
+
+        The tree convolution is width-invariant -- padded nodes are masked
+        out and never selected by the dynamic pooling -- so slicing a wide
+        pre-packed batch produces exactly the same model outputs as packing
+        the sub-batch from scratch.  This is what lets the trainer featurise
+        and pad its training set once per fit and reuse the arrays across
+        every epoch's mini-batches.
+        """
+        return TreeBatch(
+            nodes=self.nodes[index],
+            left=self.left[index],
+            right=self.right[index],
+            mask=self.mask[index],
+        )
+
 
 def pack_trees(trees: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]]) -> TreeBatch:
     """Pad individual (nodes, left, right) arrays into one :class:`TreeBatch`."""
@@ -83,6 +100,27 @@ def pack_trees(trees: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]]) -> Tr
     return TreeBatch(nodes=nodes, left=left, right=right, mask=mask)
 
 
+class _FullBatchCacheMixin:
+    """Shared cache for the packed full-matrix :class:`TreeBatch`.
+
+    Plans are deterministic per cell, so the packed arrays only go stale
+    when the store grows; the cache is keyed on the store's shape.  This is
+    what makes repeated full-matrix predictions (one per exploration step)
+    pay for featurisation and padding exactly once.
+    """
+
+    def full_batch(self) -> TreeBatch:
+        """One padded batch covering every cell in row-major order (cached)."""
+        cached = getattr(self, "_full_batch", None)
+        if cached is None or getattr(self, "_full_batch_shape", None) != self.shape:
+            n, k = self.shape
+            cells = [(q, h) for q in range(n) for h in range(k)]
+            cached = self.batch(cells)
+            self._full_batch = cached
+            self._full_batch_shape = (n, k)
+        return cached
+
+
 class PlanFeaturizer:
     """Featurises real plans from the simulated optimizer."""
 
@@ -99,7 +137,7 @@ class PlanFeaturizer:
         return plan_to_arrays(plan)
 
 
-class PlanFeatureStore:
+class PlanFeatureStore(_FullBatchCacheMixin):
     """Caches featurised plans for every (query, hint) cell of a workload."""
 
     def __init__(
@@ -137,7 +175,7 @@ class PlanFeatureStore:
         return len(self.queries) - 1
 
 
-class SyntheticPlanFeatureStore:
+class SyntheticPlanFeatureStore(_FullBatchCacheMixin):
     """Derives pseudo-plan features from latent workload factors.
 
     Used when a workload is generated directly as a latency matrix with

@@ -125,3 +125,41 @@ def test_reproducible_for_fixed_seed():
     a = censored_als(truth, mask, config=config)
     b = censored_als(truth, mask, config=config)
     assert np.allclose(a.completed, b.completed)
+
+
+def test_tol_early_stop_shortens_trace():
+    truth = low_rank_matrix()
+    mask = random_mask(truth.shape, 0.5)
+    full = censored_als(truth, mask, config=ALSConfig(rank=3, iterations=40))
+    early = censored_als(
+        truth, mask, config=ALSConfig(rank=3, iterations=40, tol=0.05)
+    )
+    assert len(early.objective_trace) < len(full.objective_trace)
+    # The factor trajectory up to the stopping point is identical.
+    stop = len(early.objective_trace)
+    assert np.allclose(early.objective_trace, full.objective_trace[:stop])
+
+
+def test_tol_zero_never_stops_early():
+    truth = low_rank_matrix()
+    mask = random_mask(truth.shape, 0.5)
+    result = censored_als(truth, mask, config=ALSConfig(rank=3, iterations=25))
+    assert len(result.objective_trace) == 25
+
+
+def test_tol_validation():
+    with pytest.raises(Exception):
+        ALSConfig(tol=-0.1)
+
+
+def test_warm_start_with_fewer_iterations_refines_cold_result():
+    truth = low_rank_matrix()
+    mask = random_mask(truth.shape, 0.5)
+    config = ALSConfig(rank=3, iterations=30)
+    cold = censored_als(truth, mask, config=config)
+    warm = censored_als(
+        truth, mask, config=config, warm_start=cold.factors, iterations=2
+    )
+    assert len(warm.objective_trace) == 2
+    # Restarting from converged factors must not blow the objective back up.
+    assert warm.objective_trace[-1] <= cold.objective_trace[-1] * 1.05

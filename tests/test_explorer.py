@@ -154,3 +154,79 @@ def test_recommend_hints_defaults_and_improves():
     for query, hint in enumerate(hints):
         # The recommended hint is never worse than the default *as observed*.
         assert matrix.value(query, hint) <= matrix.value(query, 0) + 1e-9
+
+
+def test_matrix_oracle_execute_many_matches_scalar_path():
+    truth = truth_matrix()
+    oracle = MatrixOracle(truth)
+    queries = [0, 1, 2, 3]
+    hints = [1, 2, 0, 4]
+    timeouts = [None, float(truth[1, 2]) / 2, 0.0, float(truth[3, 4]) * 2]
+    batched = oracle.execute_many(queries, hints, timeouts)
+    for (q, h, t), result in zip(zip(queries, hints, timeouts), batched):
+        scalar = oracle.execute(q, h, timeout=t)
+        assert result.latency == scalar.latency
+        assert result.timed_out == scalar.timed_out
+        assert result.charged_time == scalar.charged_time
+
+
+def test_matrix_oracle_execute_many_without_timeouts():
+    truth = truth_matrix()
+    oracle = MatrixOracle(truth)
+    results = oracle.execute_many([0, 1], [1, 2])
+    assert not any(r.timed_out for r in results)
+    assert results[0].latency == pytest.approx(truth[0, 1])
+    assert oracle.execute_many([], []) == []
+
+
+def test_matrix_oracle_execute_many_validation():
+    oracle = MatrixOracle(truth_matrix())
+    with pytest.raises(ExplorationError):
+        oracle.execute_many([0, 1], [1])
+    with pytest.raises(ExplorationError):
+        oracle.execute_many([0], [1], timeouts=[1.0, 2.0])
+
+
+def test_database_oracle_execute_many_loop_fallback(db_workload):
+    oracle = DatabaseOracle(
+        db_workload.executor, db_workload.queries, db_workload.hint_sets
+    )
+    results = oracle.execute_many([0, 1], [1, 0])
+    assert len(results) == 2
+    scalar = oracle.execute(0, 1)
+    assert results[0].latency == pytest.approx(scalar.latency, rel=1e-6)
+
+
+def test_row_distinct_chunking_preserves_order():
+    chunks = OfflineExplorer._row_distinct_chunks(
+        [(0, 1), (1, 2), (0, 3), (2, 1), (2, 4)]
+    )
+    assert chunks == [[(0, 1), (1, 2)], [(0, 3), (2, 1)], [(2, 4)]]
+    assert OfflineExplorer._row_distinct_chunks([]) == []
+    flat = [pair for chunk in chunks for pair in chunk]
+    assert flat == [(0, 1), (1, 2), (0, 3), (2, 1), (2, 4)]
+
+
+def test_step_with_scalar_only_oracle_matches_batched():
+    """An oracle without execute_many must still work (protocol fallback)."""
+
+    class ScalarOnlyOracle:
+        def __init__(self, truth):
+            self._inner = MatrixOracle(truth)
+
+        def execute(self, query, hint, timeout=None):
+            return self._inner.execute(query, hint, timeout=timeout)
+
+    truth = truth_matrix()
+    results = {}
+    for oracle in (MatrixOracle(truth), ScalarOnlyOracle(truth)):
+        matrix = warm_matrix(truth)
+        explorer = OfflineExplorer(
+            matrix, RandomPolicy(), oracle, ExplorationConfig(batch_size=4, seed=0)
+        )
+        steps = explorer.run(max_steps=5)
+        results[type(oracle).__name__] = (
+            [s.selected for s in steps],
+            [s.cumulative_exploration_time for s in steps],
+        )
+    assert results["MatrixOracle"] == results["ScalarOnlyOracle"]

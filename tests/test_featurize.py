@@ -111,3 +111,54 @@ def test_synthetic_store_batch(tiny_workload):
     batch = store.batch([(0, 0), (1, 2)])
     assert batch.batch_size == 2
     assert batch.nodes.shape[2] == NODE_FEATURE_DIM
+
+
+def _toy_store(n=4, k=3, seed=0):
+    import numpy as np
+
+    from repro.plans.featurize import SyntheticPlanFeatureStore
+
+    rng = np.random.default_rng(seed)
+    return SyntheticPlanFeatureStore(rng.random((n, 4)), rng.random((k, 4)), seed=seed)
+
+
+def test_tree_batch_take_matches_repacking():
+    import numpy as np
+
+    store = _toy_store()
+    cells = [(q, h) for q in range(4) for h in range(3)]
+    packed = store.batch(cells)
+    subset_idx = np.array([1, 4, 7])
+    sliced = packed.take(subset_idx)
+    repacked = store.batch([cells[i] for i in subset_idx])
+    assert sliced.batch_size == 3
+    # Same features; the pre-packed slice may be wider but the extra
+    # columns are padding (mask 0, null children).
+    width = repacked.max_nodes
+    assert np.array_equal(sliced.nodes[:, :width], repacked.nodes)
+    assert np.array_equal(sliced.mask[:, :width], repacked.mask)
+    assert (sliced.mask[:, width:] == 0).all()
+
+
+def test_full_batch_is_cached_and_invalidated_on_growth():
+    store = _toy_store()
+    first = store.full_batch()
+    assert store.full_batch() is first
+    assert first.batch_size == 4 * 3
+    store.add_query()
+    grown = store.full_batch()
+    assert grown is not first
+    assert grown.batch_size == 5 * 3
+
+
+def test_plan_feature_store_full_batch(db_workload):
+    from repro.plans.featurize import PlanFeatureStore, PlanFeaturizer
+
+    store = PlanFeatureStore(
+        PlanFeaturizer(db_workload.enumerator),
+        db_workload.queries[:3],
+        db_workload.hint_sets[:2],
+    )
+    full = store.full_batch()
+    assert full.batch_size == 6
+    assert store.full_batch() is full

@@ -1,0 +1,176 @@
+"""Tests for the warm-started incremental ALS predictor."""
+
+import numpy as np
+import pytest
+
+from repro.config import ALSConfig, ExplorationConfig
+from repro.core.explorer import MatrixOracle, OfflineExplorer
+from repro.core.policies import LimeQOPolicy, RandomPolicy
+from repro.core.predictors import ALSPredictor
+from repro.core.workload_matrix import WorkloadMatrix
+from repro.errors import ExplorationError
+
+
+def make_matrix(n=20, k=8, fill=0.4, seed=0):
+    rng = np.random.default_rng(seed)
+    truth = rng.gamma(2.0, 1.0, (n, 3)) @ rng.gamma(2.0, 1.0, (k, 3)).T
+    matrix = WorkloadMatrix(n, k)
+    matrix.observe_batch(np.arange(n), np.zeros(n, dtype=np.int64), truth[:, 0])
+    extra = rng.random((n, k)) < fill
+    extra[:, 0] = False
+    rows, cols = np.nonzero(extra)
+    matrix.observe_batch(rows, cols, truth[rows, cols])
+    return matrix, truth
+
+
+def test_first_predict_is_cold_then_warm_after_mutation():
+    matrix, truth = make_matrix()
+    predictor = ALSPredictor(ALSConfig(iterations=10))
+    predictor.predict(matrix)
+    assert (predictor.cold_solves, predictor.warm_solves) == (1, 0)
+    matrix.observe(1, 3, float(truth[1, 3]))
+    predictor.predict(matrix)
+    assert (predictor.cold_solves, predictor.warm_solves) == (1, 1)
+
+
+def test_unchanged_matrix_returns_cached_completion_without_solving():
+    matrix, _ = make_matrix()
+    predictor = ALSPredictor(ALSConfig(iterations=10))
+    first = predictor.predict(matrix)
+    second = predictor.predict(matrix)
+    assert predictor.cold_solves == 1 and predictor.warm_solves == 0
+    np.testing.assert_array_equal(first, second)
+
+
+def test_full_solve_every_bounds_drift():
+    matrix, truth = make_matrix()
+    predictor = ALSPredictor(
+        ALSConfig(iterations=10), refresh_iterations=2, full_solve_every=3
+    )
+    rng = np.random.default_rng(1)
+    for _ in range(8):
+        i, j = int(rng.integers(matrix.n_queries)), int(rng.integers(matrix.n_hints))
+        matrix.observe(i, j, float(truth[i, j]))
+        predictor.predict(matrix)
+    # 8 predicts: cold, then warm refreshes with a full cold re-solve after
+    # every third warm one (full_solve_every=3).
+    assert predictor.cold_solves == 2
+    assert predictor.warm_solves == 6
+
+
+def test_warm_disabled_solves_cold_on_every_change():
+    matrix, truth = make_matrix()
+    predictor = ALSPredictor(ALSConfig(iterations=10), warm_start=False)
+    predictor.predict(matrix)
+    matrix.observe(2, 4, float(truth[2, 4]))
+    predictor.predict(matrix)
+    assert predictor.cold_solves == 2 and predictor.warm_solves == 0
+
+
+def test_different_matrix_object_starts_cold():
+    matrix_a, _ = make_matrix(seed=0)
+    matrix_b, _ = make_matrix(seed=1)
+    predictor = ALSPredictor(ALSConfig(iterations=10))
+    predictor.predict(matrix_a)
+    predictor.predict(matrix_b)
+    assert predictor.cold_solves == 2 and predictor.warm_solves == 0
+
+
+def test_grown_matrix_keeps_warm_factors():
+    matrix, truth = make_matrix()
+    predictor = ALSPredictor(ALSConfig(iterations=10))
+    predictor.predict(matrix)
+    index = matrix.add_query()
+    matrix.observe(index, 0, 1.5)
+    estimate = predictor.predict(matrix)
+    assert estimate.shape == matrix.shape
+    assert predictor.warm_solves == 1
+
+
+def test_reset_forgets_factors():
+    matrix, truth = make_matrix()
+    predictor = ALSPredictor(ALSConfig(iterations=10))
+    predictor.predict(matrix)
+    predictor.reset()
+    assert predictor.factors is None
+    matrix.observe(0, 2, float(truth[0, 2]))
+    predictor.predict(matrix)
+    assert predictor.cold_solves == 2 and predictor.warm_solves == 0
+
+
+def test_warm_refresh_tracks_cold_solution():
+    matrix, truth = make_matrix(n=30, k=10, fill=0.5)
+    warm = ALSPredictor(ALSConfig(iterations=30), refresh_iterations=5)
+    cold = ALSPredictor(ALSConfig(iterations=30), warm_start=False)
+    warm.predict(matrix)
+    cold.predict(matrix)
+    rng = np.random.default_rng(2)
+    for _ in range(5):
+        i, j = int(rng.integers(matrix.n_queries)), int(rng.integers(matrix.n_hints))
+        matrix.observe(i, j, float(truth[i, j]))
+    warm_estimate = warm.predict(matrix)
+    cold_estimate = cold.predict(matrix)
+    # Observed entries are exact in both; unobserved predictions agree to a
+    # few percent relative after only a handful of fill-in iterations.
+    denominator = np.maximum(np.abs(cold_estimate), 1e-9)
+    assert np.median(np.abs(warm_estimate - cold_estimate) / denominator) < 0.05
+
+
+def test_set_incremental_validation():
+    predictor = ALSPredictor(ALSConfig(iterations=5))
+    with pytest.raises(ExplorationError):
+        predictor.set_incremental(True, refresh_iterations=0)
+    with pytest.raises(ExplorationError):
+        predictor.set_incremental(True, full_solve_every=0)
+
+
+def test_explorer_configures_policy_predictor_from_exploration_config():
+    matrix, truth = make_matrix()
+    predictor = ALSPredictor(ALSConfig(iterations=10))
+    policy = LimeQOPolicy(predictor=predictor)
+    config = ExplorationConfig(
+        batch_size=3,
+        incremental_als=True,
+        als_refresh_iterations=7,
+        als_full_solve_every=4,
+    )
+    OfflineExplorer(matrix, policy, MatrixOracle(truth), config)
+    assert predictor.warm_start is True
+    assert predictor.refresh_iterations == 7
+    assert predictor.full_solve_every == 4
+
+    config_off = ExplorationConfig(batch_size=3, incremental_als=False)
+    OfflineExplorer(matrix, policy, MatrixOracle(truth), config_off)
+    assert predictor.warm_start is False
+
+
+def test_model_free_policies_ignore_configure():
+    matrix, truth = make_matrix()
+    policy = RandomPolicy()
+    OfflineExplorer(matrix, policy, MatrixOracle(truth), ExplorationConfig())
+    assert policy.last_prediction is None
+
+
+def test_configure_with_default_config_keeps_explicit_predictor_settings():
+    """ExplorationConfig knobs default to None = don't clobber the predictor."""
+    matrix, truth = make_matrix()
+    predictor = ALSPredictor(
+        ALSConfig(iterations=10), warm_start=False, refresh_iterations=3,
+        full_solve_every=7,
+    )
+    policy = LimeQOPolicy(predictor=predictor)
+    OfflineExplorer(matrix, policy, MatrixOracle(truth), ExplorationConfig())
+    assert predictor.warm_start is False
+    assert predictor.refresh_iterations == 3
+    assert predictor.full_solve_every == 7
+
+
+def test_configure_partial_override_keeps_unset_knobs():
+    matrix, truth = make_matrix()
+    predictor = ALSPredictor(ALSConfig(iterations=10), refresh_iterations=3)
+    policy = LimeQOPolicy(predictor=predictor)
+    config = ExplorationConfig(als_full_solve_every=42)
+    OfflineExplorer(matrix, policy, MatrixOracle(truth), config)
+    assert predictor.warm_start is True
+    assert predictor.refresh_iterations == 3
+    assert predictor.full_solve_every == 42

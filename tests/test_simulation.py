@@ -94,3 +94,23 @@ def test_limeqo_outperforms_random_at_large_budgets(ceb_mini_workload):
 def test_invalid_latency_matrix_rejected():
     with pytest.raises(ExplorationError):
         ExplorationSimulator(np.ones(4))
+
+
+def test_latencies_at_rejects_negative_times(simulator):
+    trace = simulator.run(RandomPolicy(), max_steps=3)
+    with pytest.raises(ExplorationError):
+        trace.latencies_at([1.0, -0.5])
+
+
+def test_latencies_at_matches_scalar_lookup(simulator):
+    trace = simulator.run(RandomPolicy(), max_steps=5)
+    checkpoints = np.linspace(0.0, trace.total_exploration_time * 1.2, 17)
+    vectorised = trace.latencies_at(checkpoints)
+    scalar = np.array([trace.latency_at(t) for t in checkpoints])
+    np.testing.assert_array_equal(vectorised, scalar)
+
+
+def test_initial_matrix_uses_batched_observation(simulator):
+    matrix = simulator.initial_matrix()
+    # One batched mutation, not one version bump per query.
+    assert matrix.version == 1

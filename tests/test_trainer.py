@@ -126,3 +126,18 @@ def test_predictor_config_use_embeddings_is_forced(tiny_workload):
     assert plain.config.use_embeddings is False
     transductive = TransductiveTCNNPredictor(tiny_workload.feature_store(), config)
     assert transductive.config.use_embeddings is True
+
+
+def test_predict_full_matches_per_cell_prediction(tiny_workload):
+    matrix = observed_matrix(tiny_workload)
+    store = tiny_workload.feature_store()
+    trainer = TCNNTrainer(store, tiny_workload.n_queries,
+                          tiny_workload.n_hints, small_config())
+    trainer.fit(matrix)
+    full = trainer.predict_full(matrix)
+    n, k = matrix.shape
+    cells = [(i, j) for i in range(n) for j in range(k)]
+    per_cell = trainer.predict_cells(cells).reshape(n, k)
+    np.testing.assert_allclose(full, per_cell, rtol=0, atol=0)
+    # predict_all stays as a compatible alias.
+    np.testing.assert_array_equal(trainer.predict_all(matrix), full)
