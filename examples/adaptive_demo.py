@@ -1,0 +1,58 @@
+"""Drift-aware adaptive serving: a data shift hits a live service.
+
+Tells the Figures 10-11 story end to end, twice:
+
+1. a *static snapshot cache* is bootstrapped, serves happily, then the
+   data under it drifts -- and its stale verified plans quietly regress;
+2. the same scenario with the adaptation controller attached: windowed
+   residuals flag the drift, stale rows are invalidated back to the
+   default plan, their defaults are re-measured, a budgeted Algorithm-1
+   re-exploration wins the headroom back, and the warm ALS completion
+   catches up -- all off the serve path.
+
+Run with:  python examples/adaptive_demo.py
+"""
+
+from repro.experiments.adaptive import adaptive_vs_static_comparison
+from repro.scenarios import ScenarioRunner, standard_scenarios
+
+
+def main() -> None:
+    spec = standard_scenarios(seed=0)["flash_crowd"]
+    print(f"Scenario: {spec.describe()}")
+    disturbance = spec.first_disturbance_tick()
+    print(f"Data drift lands at tick {disturbance} "
+          f"(with a 4x flash-crowd burst on top)\n")
+
+    # -- the two runs (identical traffic and ground truth) -------------------
+    static = ScenarioRunner(spec, adaptive=False).run()
+    adaptive = ScenarioRunner(spec, adaptive=True).run()
+
+    print("tick  phase   static-imprv  adaptive-imprv")
+    for tick in range(0, spec.total_ticks, 2):
+        marker = "  <-- drift" if tick == disturbance else ""
+        print(f"{tick:4d}  {static.ticks[tick].phase:<7s}"
+              f"{static.improvement()[tick]:11.1%}"
+              f"{adaptive.improvement()[tick]:15.1%}{marker}")
+
+    report = adaptive.adaptive_report
+    print(f"\nController: {report['responses']:.0f} response(s) + "
+          f"{report['recovery_passes']:.0f} recovery pass(es), "
+          f"{report['invalidated_rows']:.0f} rows invalidated, "
+          f"{report['remeasured_cells']:.0f} defaults re-anchored, "
+          f"{report['explored_cells']:.0f} cells re-explored")
+
+    # -- the acceptance-style metrics ---------------------------------------
+    metrics = adaptive_vs_static_comparison(spec)
+    print(f"\nPost-drift improvement: static {metrics['static_post_improvement']:.1%} "
+          f"vs adaptive {metrics['adaptive_post_improvement']:.1%} "
+          f"(pre-drift plateau {metrics['pre_improvement']:.1%})")
+    print(f"Recovery of the static regression: {metrics['recovery']:.0%}")
+    print(f"Never worse than always-default:   "
+          f"{bool(metrics['never_worse_than_default'])}")
+    print(f"Replay with the same seed is byte-identical: "
+          f"{bool(metrics['replay_identical'])}")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,8 @@ downstream user needs most:
 * the online plan cache and the :class:`~repro.core.limeqo.LimeQO` facade,
 * the batched high-throughput serving layer (:mod:`repro.serving`),
 * the sharded multi-tenant serving cluster (:mod:`repro.cluster`),
+* the drift-aware adaptation controller (:mod:`repro.adaptive`),
+* the declarative traffic/scenario engine (:mod:`repro.scenarios`),
 * the simulated DBMS substrate (:mod:`repro.db`),
 * the numpy TCNN substrate (:mod:`repro.nn`),
 * the experiment harness regenerating every table and figure
@@ -25,7 +27,20 @@ Quickstart::
     print(trace.final_latency, "vs default", workload.default_total)
 """
 
-from .config import ALSConfig, ExplorationConfig, SimulationConfig, TCNNConfig
+from .adaptive import (
+    AdaptationController,
+    AdaptiveStats,
+    ClusterAdaptationController,
+    DriftDetector,
+    RowOracle,
+)
+from .config import (
+    ALSConfig,
+    AdaptiveConfig,
+    ExplorationConfig,
+    SimulationConfig,
+    TCNNConfig,
+)
 from .core import (
     ALSCompleter,
     ALSPredictor,
@@ -67,6 +82,15 @@ from .serving import (
     ServingService,
     ServingStats,
 )
+from .scenarios import (
+    ScenarioEvent,
+    ScenarioPhase,
+    ScenarioRunner,
+    ScenarioSpec,
+    ScenarioTrace,
+    TenantSpec,
+    standard_scenarios,
+)
 from .workloads import (
     CEB_SPEC,
     DSB_SPEC,
@@ -82,7 +106,20 @@ from .workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdaptationController",
+    "AdaptiveStats",
+    "ClusterAdaptationController",
+    "DriftDetector",
+    "RowOracle",
+    "ScenarioEvent",
+    "ScenarioPhase",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "ScenarioTrace",
+    "TenantSpec",
+    "standard_scenarios",
     "ALSConfig",
+    "AdaptiveConfig",
     "ExplorationConfig",
     "SimulationConfig",
     "TCNNConfig",

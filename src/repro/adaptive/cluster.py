@@ -1,0 +1,176 @@
+"""Cluster-wide adaptation: per-shard drift control + scheduler escalation.
+
+A :class:`~repro.cluster.cluster.ServingCluster` already keeps ALS work off
+the serve path with a budgeted round-robin
+:class:`~repro.cluster.scheduler.RefreshScheduler`.
+:class:`ClusterAdaptationController` adds the drift loop on top:
+
+* residual feedback for a tenant batch is attributed to the *owning
+  shards* via :meth:`ServingCluster.locate` and recorded in one shared
+  :class:`~repro.adaptive.detector.DriftDetector` keyed by shard id;
+* each shard that trips a threshold gets its own budgeted
+  :class:`~repro.adaptive.controller.AdaptationController` response
+  (invalidation + default re-anchoring + Algorithm-1 re-exploration on the
+  shard's matrix slice);
+* instead of refreshing inline, a responding shard is **escalated** on the
+  cluster's refresh scheduler, so its warm ALS refresh lands on the very
+  next tick without stealing the round-robin budget from quiet tenants.
+
+Shard matrices re-index on row migration (``add_shard`` rebalancing), which
+would silently mis-attribute window evidence recorded before the move --
+so the cluster owner must call :meth:`notify_topology_change` after any
+rebalance; it drops the per-shard controllers and window epochs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..cluster.cluster import ServingCluster
+from ..cluster.router import split_batch
+from ..config import AdaptiveConfig, ExplorationConfig
+from ..errors import AdaptiveError
+from ..serving.batch_cache import BatchDecisions
+from .controller import AdaptationController, AdaptiveStats
+from .detector import DriftDetector
+from .reexplore import RowOracle
+
+
+class ClusterAdaptationController:
+    """Drift-aware control loop over every shard of a serving cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The live cluster.
+    cell_lookup:
+        ``(routing_key, hint) -> latency``: one fresh live execution.  The
+        routing key (``tenant/name``) is the stable identity of a row; the
+        per-shard oracles translate their local row indices through the
+        shard's ``query_names`` table at call time, so migrations between
+        responses cannot mis-execute.
+    config / policy_factory / explore_config:
+        Forwarded to each per-shard :class:`AdaptationController`.
+    """
+
+    def __init__(
+        self,
+        cluster: ServingCluster,
+        cell_lookup: Callable[[str, int], float],
+        config: Optional[AdaptiveConfig] = None,
+        policy_factory: Optional[Callable] = None,
+        explore_config: Optional[ExplorationConfig] = None,
+    ) -> None:
+        if not callable(cell_lookup):
+            raise AdaptiveError(
+                "ClusterAdaptationController needs a (routing_key, hint) lookup"
+            )
+        self.cluster = cluster
+        self.cell_lookup = cell_lookup
+        self.config = config or AdaptiveConfig()
+        self.policy_factory = policy_factory
+        self.explore_config = explore_config
+        self.detector = DriftDetector(self.config)
+        self._controllers: Dict[int, AdaptationController] = {}
+        self._base_budget = cluster.scheduler.budget_per_tick
+
+    # -- per-shard controller lifecycle ------------------------------------------
+    @staticmethod
+    def _shard_key(shard_id: int) -> str:
+        return f"shard-{shard_id}"
+
+    def _controller_for(self, shard_id: int) -> Optional[AdaptationController]:
+        shard = self.cluster.shards[shard_id]
+        if shard.service is None:
+            return None
+        controller = self._controllers.get(shard_id)
+        if controller is None or controller.service is not shard.service:
+            oracle = RowOracle(
+                lambda row, hint, shard=shard: self.cell_lookup(
+                    shard.matrix.query_names[row], hint
+                )
+            )
+            controller = AdaptationController(
+                shard.service,
+                oracle,
+                config=self.config,
+                policy_factory=self.policy_factory,
+                explore_config=self.explore_config,
+                detector=self.detector,
+                key=self._shard_key(shard_id),
+                refresh_inline=False,
+            )
+            self._controllers[shard_id] = controller
+        return controller
+
+    # -- feedback -------------------------------------------------------------------
+    def record(self, tenant: str, decisions: BatchDecisions, measured) -> None:
+        """Attribute a tenant batch's residuals to the owning shards."""
+        measured = np.asarray(measured, dtype=float)
+        if measured.shape != decisions.queries.shape:
+            raise AdaptiveError(
+                "record needs one measurement per decision, got "
+                f"{measured.shape} for batch of {decisions.batch_size}"
+            )
+        shard_ids, local = self.cluster.locate(tenant, decisions.queries)
+        for shard_id, positions in split_batch(shard_ids):
+            controller = self._controller_for(int(shard_id))
+            if controller is None:
+                continue
+            controller.record(
+                local[positions],
+                decisions.hints[positions],
+                decisions.expected_latency[positions],
+                measured[positions],
+            )
+
+    # -- the background loop -----------------------------------------------------------
+    def tick(self) -> List[int]:
+        """One heartbeat across all shards; returns the shard ids that responded.
+
+        Responding shards are escalated on the cluster's refresh scheduler
+        -- their warm ALS refresh lands on the cluster's next scheduler
+        tick, outside the round-robin budget -- so this method never runs
+        matrix completion itself.  While any shard is mid-recovery the
+        round-robin refresh budget is also reallocated upward (one slot
+        per busy shard, never below the configured base) and restored once
+        the cluster is calm again.
+        """
+        responded: List[int] = []
+        for shard_id in sorted(self._controllers):
+            controller = self._controllers[shard_id]
+            if controller.tick():
+                responded.append(shard_id)
+                self.cluster.scheduler.escalate(shard_id)
+        busy = len(responded) + sum(
+            1
+            for shard_id, controller in self._controllers.items()
+            if shard_id not in responded and controller.backlog.size
+        )
+        self.cluster.scheduler.set_budget(max(self._base_budget, busy))
+        return responded
+
+    def notify_topology_change(self) -> None:
+        """Drop shard controllers and window epochs after a rebalance.
+
+        Local row indices recorded before a migration no longer name the
+        same queries; starting fresh is the only sound interpretation.
+        """
+        self._controllers.clear()
+        self.detector.reset_all()
+
+    # -- telemetry ------------------------------------------------------------------------
+    def report(self) -> AdaptiveStats:
+        """Merged counters across every shard controller."""
+        return AdaptiveStats.merge(
+            controller.stats for controller in self._controllers.values()
+        )
+
+    def shard_reports(self) -> Dict[int, AdaptiveStats]:
+        """Per-shard controller counters."""
+        return {
+            shard_id: controller.stats
+            for shard_id, controller in sorted(self._controllers.items())
+        }

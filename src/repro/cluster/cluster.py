@@ -272,6 +272,16 @@ class ServingCluster:
             )
         return queries, directory.shard_of[queries], directory.local_row[queries]
 
+    def locate(self, tenant: str, queries) -> Tuple[np.ndarray, np.ndarray]:
+        """Map tenant-global query indices to ``(shard_ids, local_rows)``.
+
+        The public face of the routing directory: per-shard consumers --
+        the adaptive drift controller attributes residuals to the owning
+        shard this way -- resolve rows without re-hashing keys.
+        """
+        _, shard_ids, local = self._resolve(tenant, queries)
+        return shard_ids, local
+
     def serve_batch(self, tenant: str, queries) -> BatchDecisions:
         """Answer one tenant's batch of arrivals (tenant-global indices)."""
         queries, shard_ids, local = self._resolve(tenant, queries)

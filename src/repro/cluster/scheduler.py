@@ -36,10 +36,12 @@ class RefreshScheduler:
         self.health = health
         self._shards: Dict[int, ClusterShard] = {}
         self._ring: List[int] = []
+        self._priority: List[int] = []
         self._cursor = 0
         self.ticks = 0
         self.refreshes = 0
         self.skipped_down = 0
+        self.escalations = 0
 
     def register(self, shard: ClusterShard) -> None:
         """Add a shard to the refresh rotation."""
@@ -47,6 +49,28 @@ class RefreshScheduler:
             raise ClusterError(f"shard {shard.shard_id} already scheduled")
         self._shards[shard.shard_id] = shard
         self._ring.append(shard.shard_id)
+
+    def set_budget(self, budget_per_tick: int) -> None:
+        """Reallocate the per-tick refresh budget (adaptation escalation)."""
+        if budget_per_tick < 1:
+            raise ClusterError(
+                f"budget_per_tick must be >= 1, got {budget_per_tick}"
+            )
+        self.budget_per_tick = int(budget_per_tick)
+
+    def escalate(self, shard_id: int) -> None:
+        """Jump a shard to the front of the next tick, outside the budget.
+
+        The adaptation controller calls this when it detects drift on a
+        shard: the shard's warm ALS refresh must land on the very next
+        tick even if the round-robin budget is already spoken for.  An
+        escalation is one-shot and deduplicated; unknown shards raise.
+        """
+        if shard_id not in self._shards:
+            raise ClusterError(f"cannot escalate unknown shard {shard_id}")
+        if shard_id not in self._priority:
+            self._priority.append(shard_id)
+            self.escalations += 1
 
     def dirty_shards(self) -> List[int]:
         """Ids of shards with observations newer than their last refresh."""
@@ -60,27 +84,51 @@ class RefreshScheduler:
     def tick(self) -> List[int]:
         """Refresh up to ``budget_per_tick`` dirty shards; returns their ids.
 
-        One full lap of the ring per tick at most: shards that are clean
-        cost one ``is_dirty`` check, DOWN shards are counted as skipped,
-        and the cursor persists across ticks so the budget rotates fairly.
+        Escalated shards (see :meth:`escalate`) refresh first and do not
+        consume the round-robin budget.  Then one full lap of the ring per
+        tick at most: shards that are clean cost one ``is_dirty`` check,
+        DOWN shards are counted as skipped, and the cursor persists across
+        ticks so the budget rotates fairly.
         """
         self.ticks += 1
         refreshed: List[int] = []
+        counted_down: set = set()
+        if self._priority:
+            escalated, self._priority = self._priority, []
+            for shard_id in escalated:
+                if self.health is not None and not self.health.is_up(shard_id):
+                    # A DOWN shard keeps its escalation: the refresh must
+                    # still land on the first tick after it recovers.  The
+                    # skip counter keeps the ring pass's semantics -- only
+                    # shards with a refresh actually pending count.
+                    if self._shards[shard_id].is_dirty:
+                        self.skipped_down += 1
+                        counted_down.add(shard_id)
+                    self._priority.append(shard_id)
+                    continue
+                shard = self._shards[shard_id]
+                if shard.is_dirty and shard.refresh():
+                    self.refreshes += 1
+                    refreshed.append(shard_id)
         if not self._ring:
             return refreshed
         examined = 0
+        from_ring = 0
         n = len(self._ring)
-        while examined < n and len(refreshed) < self.budget_per_tick:
+        while examined < n and from_ring < self.budget_per_tick:
             shard_id = self._ring[self._cursor % n]
             self._cursor = (self._cursor + 1) % n
             examined += 1
             shard = self._shards[shard_id]
             if self.health is not None and not self.health.is_up(shard_id):
-                if shard.is_dirty:
+                # One skip event per shard per tick, even when the shard
+                # was already counted in the escalation pass above.
+                if shard.is_dirty and shard_id not in counted_down:
                     self.skipped_down += 1
                 continue
             if shard.is_dirty and shard.refresh():
                 self.refreshes += 1
+                from_ring += 1
                 refreshed.append(shard_id)
         return refreshed
 

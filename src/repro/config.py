@@ -139,6 +139,94 @@ class TCNNConfig:
 
 
 @dataclass(frozen=True)
+class AdaptiveConfig:
+    """Knobs of the drift-aware adaptation controller (:mod:`repro.adaptive`).
+
+    Detection works over a sliding window of serving feedback: each served
+    arrival whose measured latency deviates from the snapshot's expected
+    latency by more than ``tolerance`` (relative error) counts as a drift
+    exceedance, and the controller responds when the exceedance fraction
+    crosses ``drift_threshold``.  Arrivals served with *no* observation at
+    all (expected latency is infinite -- new templates, freshly invalidated
+    rows) feed a second signal, the unseen rate, thresholded separately so
+    a stream of brand-new queries triggers re-exploration even when nothing
+    measured has drifted yet.  Below those global thresholds a *per-row*
+    persistence gate still catches tails: any row with >= ``persistent_hits``
+    exceedances (or unseen serves) inside one window gets swept by a
+    budgeted response even though its traffic share never moved the global
+    score -- repeated evidence on one row is drift, not noise.
+
+    A response is budgeted: at most ``response_budget_cells`` live
+    executions (default-plan re-measurements plus policy-selected
+    exploration cells) per response, and at least ``cooldown_ticks``
+    controller ticks between responses, so adaptation can never starve the
+    serve path it protects.  Rows a response touched stay on a *recovery
+    backlog* -- re-explored one budgeted pass at a time on quiet ticks --
+    until ``reverify_observations`` of their cells are known again
+    (``None``, the default, means every cell: a drifted optimum can land
+    on any hint, so only full re-verification guarantees the lost upside
+    is recovered rather than merely anchored back to the default plan;
+    set an integer to trade completeness for execution cost).
+    """
+
+    window: int = 256
+    tolerance: float = 0.35
+    drift_threshold: float = 0.10
+    unseen_threshold: float = 0.10
+    min_samples: int = 32
+    response_budget_cells: int = 64
+    explore_batch_size: int = 8
+    cooldown_ticks: int = 2
+    reverify_observations: Optional[int] = None
+    persistent_hits: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ConfigError(f"window must be >= 1, got {self.window}")
+        if self.tolerance <= 0:
+            raise ConfigError(f"tolerance must be > 0, got {self.tolerance}")
+        if not 0.0 < self.drift_threshold <= 1.0:
+            raise ConfigError(
+                f"drift_threshold must be in (0, 1], got {self.drift_threshold}"
+            )
+        if not 0.0 < self.unseen_threshold <= 1.0:
+            raise ConfigError(
+                f"unseen_threshold must be in (0, 1], got {self.unseen_threshold}"
+            )
+        if self.min_samples < 1:
+            raise ConfigError(f"min_samples must be >= 1, got {self.min_samples}")
+        if self.min_samples > self.window:
+            raise ConfigError(
+                f"min_samples ({self.min_samples}) cannot exceed the window "
+                f"({self.window})"
+            )
+        if self.response_budget_cells < 1:
+            raise ConfigError(
+                "response_budget_cells must be >= 1, got "
+                f"{self.response_budget_cells}"
+            )
+        if self.explore_batch_size < 1:
+            raise ConfigError(
+                f"explore_batch_size must be >= 1, got {self.explore_batch_size}"
+            )
+        if self.cooldown_ticks < 0:
+            raise ConfigError(
+                f"cooldown_ticks must be >= 0, got {self.cooldown_ticks}"
+            )
+        if self.persistent_hits < 1:
+            raise ConfigError(
+                f"persistent_hits must be >= 1, got {self.persistent_hits}"
+            )
+        if self.reverify_observations is not None and self.reverify_observations < 2:
+            raise ConfigError(
+                "reverify_observations must be >= 2 (default plan plus one "
+                f"candidate) or None for full rows, got "
+                f"{self.reverify_observations}"
+            )
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Controls the simulated offline exploration clock."""
 
@@ -157,6 +245,7 @@ class SimulationConfig:
                 raise ConfigError(f"checkpoint time must be >= 0, got {t}")
 
 
+DEFAULT_ADAPTIVE_CONFIG = AdaptiveConfig()
 DEFAULT_ALS_CONFIG = ALSConfig()
 DEFAULT_EXPLORATION_CONFIG = ExplorationConfig()
 DEFAULT_TCNN_CONFIG = TCNNConfig()

@@ -266,17 +266,30 @@ class OfflineExplorer:
         self,
         time_budget: float = float("inf"),
         max_steps: Optional[int] = None,
+        max_cells: Optional[int] = None,
     ) -> List[ExplorationStep]:
-        """Run steps until the exploration-time budget or step limit is hit."""
+        """Run steps until the exploration-time budget or step limit is hit.
+
+        ``max_cells`` caps the number of *cells executed* across the taken
+        steps; it is the entry point the online adaptation controller uses
+        to keep a drift response within a fixed execution budget (the last
+        step may overshoot by at most ``batch_size - 1`` cells).
+        """
         if time_budget <= 0:
             raise ExplorationError(f"time_budget must be > 0, got {time_budget}")
+        if max_cells is not None and max_cells < 1:
+            raise ExplorationError(f"max_cells must be >= 1, got {max_cells}")
         limit = max_steps if max_steps is not None else self.config.max_steps
         taken: List[ExplorationStep] = []
+        executed = 0
         while len(taken) < limit and self._cumulative_time < time_budget:
+            if max_cells is not None and executed >= max_cells:
+                break
             step = self.step()
             if step is None:
                 break
             taken.append(step)
+            executed += len(step.results)
         return taken
 
     # -- batched execution helpers ------------------------------------------

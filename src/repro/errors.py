@@ -74,3 +74,11 @@ class ClusterError(ReproError):
 
 class PerfError(ReproError):
     """Raised by the performance-regression harness."""
+
+
+class ScenarioError(ReproError):
+    """Raised by the declarative traffic/scenario engine."""
+
+
+class AdaptiveError(ReproError):
+    """Raised by the drift-aware adaptation controller."""

@@ -34,6 +34,11 @@ from .runner import (
 from .reporting import format_series_table, format_table
 from .serving import explored_matrix, serving_throughput_comparison
 from .cluster import cluster_vs_single_comparison, populate_cluster
+from .adaptive import (
+    adaptive_vs_static_comparison,
+    improvement_plateaus,
+    scenario_suite_comparison,
+)
 
 __all__ = [
     "figure5_performance",
@@ -61,4 +66,7 @@ __all__ = [
     "serving_throughput_comparison",
     "cluster_vs_single_comparison",
     "populate_cluster",
+    "adaptive_vs_static_comparison",
+    "improvement_plateaus",
+    "scenario_suite_comparison",
 ]

@@ -1,6 +1,6 @@
 """The library's named hot paths, packaged as perf cases.
 
-Five paths cover every layer a figure benchmark or the serving stack
+Six paths cover every layer a figure benchmark or the serving stack
 exercises:
 
 * ``als_cold``       -- one full censored-ALS solve from scratch,
@@ -9,7 +9,10 @@ exercises:
 * ``explore_200_steps`` -- the end-to-end offline exploration loop
                         (Algorithm 1 with the incremental ALS predictor),
 * ``tcnn_predict_full`` -- a full-matrix TCNN prediction pass,
-* ``serve_batch``    -- the batched online serving path.
+* ``serve_batch``    -- the batched online serving path,
+* ``adapt_drift``    -- the drift-adaptation loop: residual recording,
+                        detection, and one budgeted response (invalidate +
+                        re-anchor + re-explore + warm refresh).
 
 Two scales are provided: ``smoke`` (seconds, used by the CI perf job) and
 ``default`` (the numbers quoted in ``docs/performance.md``).
@@ -203,5 +206,57 @@ def build_suite(scale_name: str = "smoke") -> PerfHarness:
         return {"served": served}
 
     harness.add("serve_batch", run_serving, setup=setup_serving, repeats=repeats)
+
+    # -- adapt_drift -------------------------------------------------------
+    def setup_adapt():
+        from ..workloads.shift import shift_latencies
+
+        workload = _workload(scale)
+        truth = workload.true_latencies
+        n, k = truth.shape
+        matrix = WorkloadMatrix(n, k)
+        matrix.observe_batch(
+            np.arange(n), np.zeros(n, dtype=np.int64), truth[:, 0]
+        )
+        best = truth.argmin(axis=1)
+        matrix.observe_batch(np.arange(n), best, truth[np.arange(n), best])
+        drifted, _ = shift_latencies(
+            truth, 0.3, 1.2, np.random.default_rng(29)
+        )
+        return matrix.to_dict(), drifted
+
+    def run_adapt(state):
+        from ..adaptive import AdaptationController, RowOracle
+        from ..config import AdaptiveConfig
+        from ..serving.refresh import IncrementalALSRefresher
+
+        payload, drifted = state
+        # Rebuild pristine serving state each repeat: a response mutates
+        # the matrix, and the measured path must include exactly one
+        # detection + one budgeted response every time.
+        matrix = WorkloadMatrix.from_dict(payload)
+        service = ServingService(
+            matrix, refresher=IncrementalALSRefresher(ALSConfig())
+        )
+        controller = AdaptationController(
+            service,
+            RowOracle(lambda q, h: drifted[q, h]),
+            config=AdaptiveConfig(window=256, min_samples=32, cooldown_ticks=0),
+        )
+        service.monitor = controller
+        for _ in range(2):
+            decisions = service.serve_all()
+            service.record_measured(
+                decisions, drifted[decisions.queries, decisions.hints]
+            )
+        responded = controller.tick()
+        report = controller.report()
+        return {
+            "responded": int(responded),
+            "explored": int(report.explored_cells),
+            "invalidated": int(report.invalidated_rows),
+        }
+
+    harness.add("adapt_drift", run_adapt, setup=setup_adapt, repeats=repeats)
 
     return harness

@@ -1,0 +1,62 @@
+"""Declarative traffic & drift scenarios: seeded, replayable serving timelines.
+
+The ROADMAP's scenario-diversity goal, packaged: a scenario is a frozen
+spec (tenants + phases + events), a mutable ground-truth world, and a
+runner that drives a live :class:`~repro.serving.ServingService` or
+:class:`~repro.cluster.ServingCluster` through it tick by tick:
+
+* :mod:`repro.scenarios.spec` -- :class:`TenantSpec`, :class:`ScenarioPhase`,
+  :class:`ScenarioEvent`, :class:`ScenarioSpec` (validated at construction),
+* :mod:`repro.scenarios.world` -- the evolving per-tenant ground truth
+  (drift, ETL floods, new templates, visibility horizons),
+* :mod:`repro.scenarios.runner` -- :class:`ScenarioRunner` /
+  :class:`ScenarioTrace`: arrivals, execution, adaptive feedback, replayable
+  decision blobs,
+* :mod:`repro.scenarios.primitives` -- the named library (sudden 70/30
+  shift, gradual drift, diurnal mixes, flash crowds, template streams, ETL
+  floods, tenant churn) mapped to the paper's Figures 8-11.
+"""
+
+from .primitives import (
+    diurnal_tenant_mix,
+    drift_benchmark_scenarios,
+    etl_flood,
+    flash_crowd,
+    gradual_data_drift,
+    new_template_stream,
+    standard_scenarios,
+    sudden_workload_shift,
+    tenant_churn,
+)
+from .runner import ScenarioRunner, ScenarioTrace, TickStats
+from .spec import (
+    DISTURBANCE_ACTIONS,
+    EVENT_ACTIONS,
+    ScenarioEvent,
+    ScenarioPhase,
+    ScenarioSpec,
+    TenantSpec,
+)
+from .world import TenantWorld
+
+__all__ = [
+    "diurnal_tenant_mix",
+    "drift_benchmark_scenarios",
+    "etl_flood",
+    "flash_crowd",
+    "gradual_data_drift",
+    "new_template_stream",
+    "standard_scenarios",
+    "sudden_workload_shift",
+    "tenant_churn",
+    "ScenarioRunner",
+    "ScenarioTrace",
+    "TickStats",
+    "DISTURBANCE_ACTIONS",
+    "EVENT_ACTIONS",
+    "ScenarioEvent",
+    "ScenarioPhase",
+    "ScenarioSpec",
+    "TenantSpec",
+    "TenantWorld",
+]

@@ -114,6 +114,12 @@ class ServingService:
         shard passes its own so telemetry survives the service being
         rebuilt (e.g. after every row migrates away); by default the
         service owns a fresh one.
+    monitor:
+        Optional drift monitor (anything with a
+        ``record(queries, hints, expected, measured)`` method, e.g. a
+        :class:`repro.adaptive.DriftDetector` window).  It receives every
+        :meth:`record_measured` feedback batch so an adaptation controller
+        can watch live residuals without sitting on the serve path.
     """
 
     def __init__(
@@ -125,6 +131,7 @@ class ServingService:
         estimator: Optional[BatchedLatencyEstimator] = None,
         clock=time.perf_counter,
         recorder: Optional[LatencyRecorder] = None,
+        monitor=None,
     ) -> None:
         self.matrix = matrix
         self.cache = BatchedPlanCache(
@@ -132,6 +139,7 @@ class ServingService:
         )
         self.refresher = refresher
         self.estimator = estimator
+        self.monitor = monitor
         self._clock = clock
         self._recorder = recorder if recorder is not None else LatencyRecorder()
 
@@ -191,6 +199,56 @@ class ServingService:
         ):
             self.refresher.refresh(self.matrix)
             self._recorder.record_refresh()
+
+    def record_measured(
+        self,
+        decisions: BatchDecisions,
+        measured,
+        observe: bool = False,
+    ) -> None:
+        """Report the *measured* latencies of an already-served batch.
+
+        This is the residual telemetry hook the adaptation loop is built
+        on: the attached ``monitor`` sees each arrival's served hint, the
+        snapshot's expected latency at decision time, and what execution
+        actually measured.  With ``observe=True`` the measurements are also
+        folded into the matrix (``refresh=False`` -- any ALS work stays on
+        the background path).  The default is observation-free so a
+        detection-only deployment never mutates serving state.
+        """
+        measured = np.asarray(measured, dtype=float)
+        if measured.shape != decisions.queries.shape:
+            raise ServingError(
+                f"record_measured needs one measurement per decision, got "
+                f"{measured.shape} for batch of {decisions.batch_size}"
+            )
+        if self.monitor is not None:
+            self.monitor.record(
+                decisions.queries,
+                decisions.hints,
+                decisions.expected_latency,
+                measured,
+            )
+        if observe:
+            self.observe_batch(
+                decisions.queries, decisions.hints, measured, refresh=False
+            )
+
+    def invalidate(self, queries: Optional[Sequence[int]] = None) -> None:
+        """Forget observations (all rows, or a subset) and drop warm state.
+
+        The adaptation controller's response to detected drift: the stale
+        rows' observations are erased (so they serve the default plan until
+        re-verified -- the no-regression guarantee is anchored there), the
+        decision snapshot recomputes on the next batch via the version
+        bump, and a warmed estimator tensor is dropped.  No eager snapshot
+        rebuild: callers typically mutate the matrix further (re-anchoring,
+        re-exploration) before the next serve, and the version bump already
+        guarantees freshness.
+        """
+        self.matrix.invalidate(queries)
+        if self.estimator is not None:
+            self.estimator.invalidate()
 
     def completed_matrix(self) -> np.ndarray:
         """Up-to-date completed latency estimate (requires a refresher)."""

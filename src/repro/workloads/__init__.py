@@ -21,6 +21,8 @@ from .shift import (
     DataDriftModel,
     add_etl_query,
     apply_data_shift,
+    etl_latency_rows,
+    shift_latencies,
     split_for_workload_shift,
 )
 from .spec import (
@@ -43,6 +45,8 @@ __all__ = [
     "DataDriftModel",
     "add_etl_query",
     "apply_data_shift",
+    "etl_latency_rows",
+    "shift_latencies",
     "split_for_workload_shift",
     "CEB_SPEC",
     "DSB_SPEC",

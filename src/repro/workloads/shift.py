@@ -23,37 +23,61 @@ from .matrices import SyntheticWorkload
 from .spec import WorkloadSpec
 
 
+def etl_latency_rows(
+    n_hints: int,
+    latency: float,
+    jitter: float,
+    rng: np.random.Generator,
+    count: int = 1,
+) -> np.ndarray:
+    """``(count, n_hints)`` ETL-style latency rows, built in one pass.
+
+    Every hint lands within ``±jitter`` of ``latency`` and the default
+    column is pinned (marginally) fastest, so no hint can help -- the row
+    shape that defeats Greedy in Section 5.1.  Shared by
+    :func:`add_etl_query` and the scenario engine's ETL-flood primitive.
+    """
+    if latency <= 0:
+        raise WorkloadError("ETL latency must be > 0")
+    if not 0.0 <= jitter < 1.0:
+        raise WorkloadError(f"ETL jitter must be in [0, 1), got {jitter}")
+    if count < 1:
+        raise WorkloadError(f"ETL row count must be >= 1, got {count}")
+    rows = latency * (1.0 + rng.uniform(-jitter, jitter, size=(count, n_hints)))
+    # The default plan is (marginally) the fastest: hints cannot help.
+    rows[:, 0] = latency * (1.0 - jitter)
+    return rows
+
+
 def add_etl_query(
     workload: SyntheticWorkload,
     latency: float = 576.5,
     jitter: float = 0.01,
     seed: int = 0,
+    count: int = 1,
 ) -> SyntheticWorkload:
-    """Append an ETL-style query that no hint can speed up (Section 5.1).
+    """Append ``count`` ETL-style queries that no hint can speed up (§5.1).
 
     The paper adds a 576.5 s COPY-style query to the Stack workload; Greedy
     keeps re-exploring it because it is the longest-running query, while
-    LimeQO's predictive model learns its row has no headroom.
+    LimeQO's predictive model learns its row has no headroom.  ``count > 1``
+    appends a whole ETL flood in one vectorised block.
     """
-    if latency <= 0:
-        raise WorkloadError("ETL latency must be > 0")
     rng = np.random.default_rng(seed)
-    row = latency * (1.0 + rng.uniform(-jitter, jitter, size=workload.n_hints))
-    # The default plan is (marginally) the fastest: hints cannot help.
-    row[0] = latency * (1.0 - jitter)
-    new_latencies = np.vstack([workload.true_latencies, row[None, :]])
+    rows = etl_latency_rows(workload.n_hints, latency, jitter, rng, count=count)
+    new_latencies = np.vstack([workload.true_latencies, rows])
 
-    etl_factor = np.full((1, workload.query_factors.shape[1]),
-                         np.sqrt(latency / workload.query_factors.shape[1]))
-    new_query_factors = np.vstack([workload.query_factors, etl_factor])
-    new_costs = np.vstack(
-        [workload.optimizer_costs, (row ** 0.8)[None, :] * 1e4]
+    etl_factors = np.full(
+        (count, workload.query_factors.shape[1]),
+        np.sqrt(latency / workload.query_factors.shape[1]),
     )
+    new_query_factors = np.vstack([workload.query_factors, etl_factors])
+    new_costs = np.vstack([workload.optimizer_costs, (rows ** 0.8) * 1e4])
 
     spec = replace(
         workload.spec,
         name=f"{workload.spec.name}+etl",
-        n_queries=workload.n_queries + 1,
+        n_queries=workload.n_queries + count,
         default_total=float(new_latencies[:, 0].sum()),
         optimal_total=float(new_latencies.min(axis=1).sum()),
     )
@@ -73,13 +97,25 @@ def split_for_workload_shift(
     seed: int = 0,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Randomly split query indices into (initial, late-arriving) groups."""
-    if not 0.0 < initial_fraction < 1.0:
-        raise WorkloadError("initial_fraction must be in (0, 1)")
+    if not np.isfinite(initial_fraction) or not 0.0 < initial_fraction < 1.0:
+        raise WorkloadError(
+            f"initial_fraction must be a finite value in (0, 1), got "
+            f"{initial_fraction}"
+        )
+    if workload.n_queries < 2:
+        raise WorkloadError(
+            f"workload shift needs at least 2 queries to split, "
+            f"{workload.spec.name!r} has {workload.n_queries}"
+        )
     rng = np.random.default_rng(seed)
     order = rng.permutation(workload.n_queries)
     cut = int(round(initial_fraction * workload.n_queries))
     if cut == 0 or cut == workload.n_queries:
-        raise WorkloadError("split produced an empty group; adjust initial_fraction")
+        raise WorkloadError(
+            f"initial_fraction={initial_fraction} rounds to an empty group "
+            f"over {workload.n_queries} queries; use a fraction in "
+            f"[{0.5 / workload.n_queries}, {1 - 0.5 / workload.n_queries})"
+        )
     return np.sort(order[:cut]), np.sort(order[cut:])
 
 
@@ -124,6 +160,56 @@ class DataDriftModel:
             ) from None
 
 
+def shift_latencies(
+    latencies: np.ndarray,
+    changed_fraction: float,
+    growth_factor: float,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised core of a data shift over a raw latency matrix.
+
+    Grows every entry by ``growth_factor``, then -- for a sampled
+    ``changed_fraction`` of rows -- slows the previously optimal hint by a
+    1.5-3x factor and speeds a uniformly chosen other hint below the new
+    row minimum, so the argmin provably moves.  One fancy-indexed pass
+    replaces the historical per-row Python loop; the per-row *distribution*
+    (independent uniform draws, argmin guaranteed to change) is unchanged,
+    but the bulk draws consume the generator stream in a different order,
+    so a given seed produces a different -- equally valid -- shifted matrix
+    than the pre-vectorisation loop did.
+
+    Returns ``(new_latencies, changed_rows)``.  Shared by
+    :func:`apply_data_shift` and the scenario engine's drift primitives.
+    """
+    if not 0.0 <= changed_fraction <= 1.0:
+        raise WorkloadError(
+            f"changed_fraction must be in [0, 1], got {changed_fraction}"
+        )
+    if growth_factor <= 0:
+        raise WorkloadError(f"growth_factor must be > 0, got {growth_factor}")
+    latencies = np.asarray(latencies, dtype=float)
+    n, k = latencies.shape
+    new_latencies = latencies * growth_factor
+
+    n_changed = int(round(changed_fraction * n))
+    if n_changed == 0 or k < 2:
+        return new_latencies, np.zeros(0, dtype=np.int64)
+
+    rows = rng.choice(n, size=n_changed, replace=False)
+    best = new_latencies[rows].argmin(axis=1)
+    # Replacement hints drawn uniformly over the k-1 non-best columns: a
+    # draw in [0, k-1) shifted past the best column is the vectorised form
+    # of choosing from the candidate list with ``best`` removed.
+    picks = rng.integers(0, k - 1, size=n_changed)
+    new_best = picks + (picks >= best)
+    slow = rng.uniform(1.5, 3.0, size=n_changed)
+    speed = rng.uniform(0.6, 0.9, size=n_changed)
+    new_latencies[rows, best] *= slow
+    targets = new_latencies[rows].min(axis=1) * speed
+    new_latencies[rows, new_best] = np.maximum(targets, 1e-4)
+    return new_latencies, np.asarray(rows, dtype=np.int64)
+
+
 def apply_data_shift(
     workload: SyntheticWorkload,
     changed_fraction: float = 0.21,
@@ -142,25 +228,10 @@ def apply_data_shift(
         Overall latency growth as the data grows (Stack's default total grew
         from 1.16 h to 1.46 h, a factor of ~1.26).
     """
-    if not 0.0 <= changed_fraction <= 1.0:
-        raise WorkloadError("changed_fraction must be in [0, 1]")
-    if growth_factor <= 0:
-        raise WorkloadError("growth_factor must be > 0")
     rng = np.random.default_rng(seed)
-    new_latencies = workload.true_latencies * growth_factor
-
-    n_changed = int(round(changed_fraction * workload.n_queries))
-    if n_changed:
-        rows = rng.choice(workload.n_queries, size=n_changed, replace=False)
-        old_best = new_latencies[rows].argmin(axis=1)
-        for row, best in zip(rows, old_best):
-            # Slow the previously optimal hint down and speed another hint
-            # up, so the argmin provably moves.
-            candidates = [j for j in range(workload.n_hints) if j != best]
-            new_best = int(rng.choice(candidates))
-            new_latencies[row, best] *= float(rng.uniform(1.5, 3.0))
-            target = new_latencies[row].min() * float(rng.uniform(0.6, 0.9))
-            new_latencies[row, new_best] = max(target, 1e-4)
+    new_latencies, _ = shift_latencies(
+        workload.true_latencies, changed_fraction, growth_factor, rng
+    )
 
     spec = WorkloadSpec(
         name=spec_name or f"{workload.spec.name}-shifted",

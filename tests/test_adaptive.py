@@ -1,0 +1,542 @@
+"""Tests for the drift-aware adaptation layer (repro.adaptive)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adaptive import (
+    AdaptationController,
+    AdaptiveStats,
+    ClusterAdaptationController,
+    DriftDetector,
+    ResidualWindow,
+    RowOracle,
+    drift_score,
+    relative_residuals,
+    unseen_rate,
+)
+from repro.cluster import ServingCluster
+from repro.config import ALSConfig, AdaptiveConfig
+from repro.core.workload_matrix import WorkloadMatrix
+from repro.errors import AdaptiveError, ConfigError
+from repro.serving import IncrementalALSRefresher, ServingService
+from repro.workloads import generate_workload
+from repro.workloads.spec import WorkloadSpec
+
+latencies = st.floats(
+    min_value=1e-3, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+
+
+@pytest.fixture()
+def small_truth():
+    spec = WorkloadSpec(
+        name="adaptive-test",
+        n_queries=50,
+        n_hints=8,
+        default_total=500.0,
+        optimal_total=200.0,
+        rank=4,
+    )
+    return generate_workload(spec, seed=7).true_latencies
+
+
+def build_service(truth, coverage=1.0, refresher=True, seed=0):
+    """A serving stack bootstrapped on ``truth`` (default column + best hints)."""
+    n, k = truth.shape
+    matrix = WorkloadMatrix(n, k)
+    matrix.observe_batch(
+        np.arange(n), np.zeros(n, dtype=np.int64), truth[:, 0]
+    )
+    rng = np.random.default_rng(seed)
+    rows = np.nonzero(rng.random(n) < coverage)[0]
+    if rows.size:
+        best = truth[rows].argmin(axis=1)
+        matrix.observe_batch(rows, best, truth[rows, best])
+    return ServingService(
+        matrix,
+        refresher=IncrementalALSRefresher(ALSConfig()) if refresher else None,
+    )
+
+
+# -- residual statistics --------------------------------------------------------
+def test_relative_residuals_basics():
+    expected = np.array([1.0, 2.0, np.inf])
+    measured = np.array([1.0, 3.0, 5.0])
+    residuals = relative_residuals(expected, measured)
+    assert residuals[0] == 0.0
+    assert residuals[1] == pytest.approx(0.5)
+    assert np.isnan(residuals[2])
+    with pytest.raises(AdaptiveError):
+        relative_residuals(np.zeros(3), np.zeros(2))
+
+
+def test_drift_score_zero_and_full():
+    expected = np.full(100, 10.0)
+    assert drift_score(relative_residuals(expected, expected), 0.35) == 0.0
+    assert drift_score(relative_residuals(expected, expected * 3.0), 0.35) == 1.0
+    # An all-unseen window carries no drift evidence.
+    assert drift_score(relative_residuals(np.full(5, np.inf), np.ones(5)), 0.35) == 0.0
+    with pytest.raises(AdaptiveError):
+        drift_score(np.zeros(3), 0.0)
+
+
+def test_unseen_rate():
+    assert unseen_rate(np.array([])) == 0.0
+    assert unseen_rate(np.array([1.0, np.inf, np.inf, 2.0])) == pytest.approx(0.5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    expected=st.lists(latencies, min_size=1, max_size=64),
+    scale=st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+    tolerance=st.floats(min_value=0.01, max_value=2.0, allow_nan=False),
+)
+def test_drift_score_properties(expected, scale, tolerance):
+    """Windowed residual stats: bounds, monotone response, exact edges."""
+    expected = np.asarray(expected)
+    measured = expected * scale
+    residuals = relative_residuals(expected, measured)
+    score = drift_score(residuals, tolerance)
+    assert 0.0 <= score <= 1.0
+    # Uniform scaling makes every relative residual |scale - 1|:
+    if abs(scale - 1.0) > tolerance * (1 + 1e-9):
+        assert score == 1.0
+    elif abs(scale - 1.0) < tolerance * (1 - 1e-9):
+        assert score == 0.0
+    # The score is invariant under sample permutation.
+    permuted = np.random.default_rng(0).permutation(residuals)
+    assert drift_score(permuted, tolerance) == score
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(latencies, min_size=1, max_size=200),
+    capacity=st.integers(min_value=1, max_value=64),
+)
+def test_residual_window_matches_pure_stats(values, capacity):
+    """A ring-buffered window reports exactly the stats of its last N samples."""
+    expected = np.asarray(values)
+    measured = expected * 2.0
+    window = ResidualWindow(capacity)
+    window.record(
+        np.arange(expected.size), np.zeros(expected.size), expected, measured
+    )
+    tail = expected[-capacity:]
+    stats = window.stats(tolerance=0.35)
+    assert stats.samples == min(expected.size, capacity)
+    reference = drift_score(relative_residuals(tail, tail * 2.0), 0.35)
+    assert stats.drift_score == pytest.approx(reference)
+
+
+def test_residual_window_rows_and_clear():
+    window = ResidualWindow(16)
+    expected = np.array([10.0, 10.0, np.inf, 10.0])
+    measured = np.array([10.0, 30.0, 5.0, 10.4])
+    window.record(np.array([3, 7, 9, 4]), np.zeros(4), expected, measured)
+    assert window.drifted_rows(0.35).tolist() == [7]
+    assert window.unseen_rows().tolist() == [9]
+    window.clear()
+    assert len(window) == 0
+    assert window.stats(0.35).samples == 0
+
+
+# -- detector ---------------------------------------------------------------------
+def test_detector_zero_drift_never_triggers():
+    detector = DriftDetector(AdaptiveConfig(window=64, min_samples=16))
+    expected = np.full(64, 5.0)
+    for _ in range(10):
+        detector.record(np.arange(64), np.zeros(64), expected, expected)
+        assert not detector.status().triggered
+    assert detector.status().drift_score == 0.0
+
+
+def test_detector_full_drift_always_triggers():
+    detector = DriftDetector(AdaptiveConfig(window=64, min_samples=16))
+    expected = np.full(64, 5.0)
+    detector.record(np.arange(64), np.zeros(64), expected, expected * 4.0)
+    status = detector.status()
+    assert status.drift_triggered and status.triggered
+    assert status.drift_score == 1.0
+
+
+def test_detector_drift_gate_ignores_unseen_samples():
+    """A window dominated by unseen serves must not let one noisy
+    measurement trip a drift invalidation (the gate counts residual-
+    carrying samples only)."""
+    detector = DriftDetector(AdaptiveConfig(window=128, min_samples=32))
+    expected = np.full(62, np.inf)
+    expected[:2] = 10.0
+    measured = np.full(62, 10.0)
+    measured[0] = 30.0  # one noisy measurement among 60 unseen serves
+    detector.record(np.arange(62), np.zeros(62), expected, measured)
+    status = detector.status()
+    assert status.samples == 62 and status.seen_samples == 2
+    assert status.drift_score == pytest.approx(0.5)
+    assert not status.drift_triggered
+    assert status.unseen_triggered  # the unseen signal is the real story
+
+
+def test_detector_needs_min_samples():
+    detector = DriftDetector(AdaptiveConfig(window=64, min_samples=32))
+    expected = np.full(8, 5.0)
+    detector.record(np.arange(8), np.zeros(8), expected, expected * 4.0)
+    assert not detector.status().triggered  # evidence, but not enough of it
+
+
+def test_detector_unseen_and_new_row_signals():
+    config = AdaptiveConfig(window=64, min_samples=16, unseen_threshold=0.2)
+    detector = DriftDetector(config)
+    expected = np.where(np.arange(32) % 2 == 0, np.inf, 5.0)
+    detector.record(np.arange(32), np.zeros(32), expected, np.full(32, 5.0))
+    status = detector.status()
+    assert status.unseen_triggered and not status.drift_triggered
+    # Row growth alone can trigger too.
+    other = DriftDetector(config)
+    fine = np.full(32, 5.0)
+    other.record(np.arange(32), np.zeros(32), fine, fine)
+    other.note_row_count(100)
+    other.note_row_count(140)
+    assert other.status().new_row_fraction == pytest.approx(0.4)
+    assert other.status().unseen_triggered
+    other.reset()
+    assert other.status().new_row_fraction == 0.0
+
+
+def test_adaptive_config_validation():
+    with pytest.raises(ConfigError):
+        AdaptiveConfig(window=0)
+    with pytest.raises(ConfigError):
+        AdaptiveConfig(min_samples=512, window=64)
+    with pytest.raises(ConfigError):
+        AdaptiveConfig(drift_threshold=0.0)
+    with pytest.raises(ConfigError):
+        AdaptiveConfig(reverify_observations=1)
+
+
+# -- controller --------------------------------------------------------------------
+def controller_for(service, truth, **kwargs):
+    config = kwargs.pop(
+        "config",
+        AdaptiveConfig(window=128, min_samples=32, cooldown_ticks=0),
+    )
+    controller = AdaptationController(
+        service, RowOracle(lambda q, h: truth[q, h]), config=config, **kwargs
+    )
+    service.monitor = controller
+    return controller
+
+
+def feed(service, truth, batches=2):
+    for _ in range(batches):
+        decisions = service.serve_all()
+        service.record_measured(
+            decisions, truth[decisions.queries, decisions.hints]
+        )
+
+
+def test_controller_zero_drift_never_responds(small_truth):
+    service = build_service(small_truth)
+    controller = controller_for(service, small_truth)
+    for _ in range(5):
+        feed(service, small_truth, batches=1)
+        assert not controller.tick()
+    assert controller.report().responses == 0
+
+
+def test_controller_full_drift_responds_and_recovers(small_truth):
+    truth = small_truth.copy()
+    service = build_service(truth)
+    controller = controller_for(service, truth)
+    before_version = service.matrix.version
+    truth *= 3.0  # everything drifted
+    feed(service, truth)
+    assert controller.tick()
+    report = controller.report()
+    assert report.responses == 1
+    assert report.invalidated_rows > 0
+    assert report.remeasured_cells > 0
+    assert service.matrix.version > before_version
+    # Invalidated rows now carry a *fresh* default observation.
+    drifted = controller.last_response.invalidated
+    for row in drifted[:5]:
+        assert service.matrix.value(int(row), 0) == pytest.approx(
+            truth[int(row), 0]
+        )
+    # Backlog recovery keeps exploring on quiet ticks until re-verified.
+    for _ in range(30):
+        if not controller.backlog.size:
+            break
+        controller.tick()
+    assert controller.backlog.size == 0
+    assert controller.report().recovery_passes > 0
+
+
+def test_controller_response_respects_budget(small_truth):
+    truth = small_truth.copy()
+    service = build_service(truth)
+    config = AdaptiveConfig(
+        window=128, min_samples=32, cooldown_ticks=0,
+        response_budget_cells=10, explore_batch_size=2,
+    )
+    controller = controller_for(service, truth, config=config)
+    truth *= 3.0
+    feed(service, truth)
+    assert controller.tick()
+    plan = controller.last_response
+    # Budget caps total live executions (explore may overshoot by < batch).
+    assert plan.remeasured + plan.explored <= 10 + (2 - 1)
+
+
+def test_controller_cooldown_rate_limits(small_truth):
+    truth = small_truth.copy()
+    service = build_service(truth)
+    config = AdaptiveConfig(window=128, min_samples=32, cooldown_ticks=3)
+    controller = controller_for(service, truth, config=config)
+    truth *= 3.0
+    feed(service, truth)
+    assert controller.tick()
+    feed(service, truth)
+    assert not controller.tick()  # cooling down
+    assert controller.report().responses == 1
+
+
+def test_controller_never_serves_regression_after_drift(small_truth):
+    """Post-response decisions are anchored to fresh default observations."""
+    truth = small_truth.copy()
+    service = build_service(truth)
+    controller = controller_for(service, truth)
+    truth *= 2.5
+    feed(service, truth)
+    controller.tick()
+    for _ in range(20):
+        controller.tick()
+    decisions = service.serve_all()
+    served = truth[decisions.queries, decisions.hints]
+    defaults = truth[decisions.queries, 0]
+    assert np.all(served <= defaults * (1.0 + 1e-9))
+
+
+def test_controller_unseen_rows_get_anchored(small_truth):
+    truth = small_truth.copy()
+    n, k = truth.shape
+    service = build_service(truth)
+    controller = controller_for(service, truth)
+    # Ten brand-new rows appear (workload shift): no observations at all.
+    for _ in range(10):
+        service.matrix.add_query()
+    extended = np.vstack([truth, truth[:10] * 1.5])
+    new_rows = np.arange(n, n + 10)
+    for _ in range(4):
+        decisions = service.serve_batch(
+            np.concatenate([np.arange(n), new_rows])
+        )
+        service.record_measured(
+            decisions, extended[decisions.queries, decisions.hints]
+        )
+    controller.reexplorer.oracle = RowOracle(
+        lambda q, h: extended[q, h]
+    )
+    assert controller.tick()
+    assert controller.report().unseen_responses == 1
+    for row in new_rows:
+        assert service.matrix.is_observed(int(row), 0)
+
+
+def test_scoped_exploration_only_executes_scoped_rows(small_truth):
+    """Recovery exploration cannot leak live executions onto healthy rows."""
+    from repro.adaptive import OnlineReexplorer
+
+    truth = small_truth
+    n, k = truth.shape
+    matrix = WorkloadMatrix(n, k)
+    matrix.observe_batch(np.arange(n), np.zeros(n, dtype=np.int64), truth[:, 0])
+    executed = []
+
+    def lookup(q, h):
+        executed.append(q)
+        return truth[q, h]
+
+    reexplorer = OnlineReexplorer(matrix, RowOracle(lookup))
+    scoped = np.array([3, 7, 11, 19])
+    ran = reexplorer.explore(24, rows=scoped)
+    assert ran > 0
+    assert set(executed) <= set(scoped.tolist())
+    # Empty scope is a no-op.
+    assert reexplorer.explore(24, rows=np.zeros(0, dtype=np.int64)) == 0
+
+
+def test_controller_recovery_stays_on_backlog_rows(small_truth):
+    truth = small_truth.copy()
+    service = build_service(truth)
+    controller = controller_for(service, truth)
+    truth *= 3.0
+    feed(service, truth)
+    assert controller.tick()
+    touched = set(controller.backlog.tolist()) | set(
+        controller.last_response.invalidated.tolist()
+    )
+    executed = []
+    controller.reexplorer.oracle = RowOracle(
+        lambda q, h: (executed.append(q), truth[q, h])[1]
+    )
+    for _ in range(30):
+        if not controller.backlog.size:
+            break
+        controller.tick()
+    assert controller.backlog.size == 0
+    assert set(executed) <= touched
+
+
+def test_recovery_anchors_before_exploring(small_truth):
+    """A response bigger than its budget leaves unanchored rows; recovery
+    passes must re-measure their defaults before any exploration lands on
+    them, or the snapshot would serve unverified hints unconditionally."""
+    truth = small_truth.copy()
+    service = build_service(truth)
+    config = AdaptiveConfig(
+        window=128, min_samples=32, cooldown_ticks=0,
+        response_budget_cells=12, explore_batch_size=4,
+    )
+    controller = controller_for(service, truth, config=config)
+    truth *= 3.0  # all 50 rows drift; budget 12 cannot anchor them in one go
+    feed(service, truth)
+    assert controller.tick()
+    matrix = service.matrix
+    for _ in range(60):
+        # Invariant at every step: a row carrying any non-default
+        # observation must have its default observed too.
+        for row in range(matrix.n_queries):
+            if matrix.observed_count_in_row(row) and not matrix.is_observed(row, 0):
+                non_default = [
+                    h for h in range(1, matrix.n_hints)
+                    if matrix.is_observed(row, h)
+                ]
+                assert not non_default, (
+                    f"row {row} has non-default observations {non_default} "
+                    "but no default anchor"
+                )
+        if not controller.backlog.size:
+            break
+        controller.tick()
+    assert controller.backlog.size == 0
+
+
+def test_scheduler_escalation_survives_down_shard():
+    cluster = ServingCluster(2, 4)
+    cluster.add_tenant("t", [f"q{i}" for i in range(8)])
+    cluster.observe_batch(
+        "t", np.arange(8), np.zeros(8, dtype=np.int64), np.ones(8)
+    )
+    shard_ids, _ = cluster.locate("t", np.arange(8))
+    target = int(shard_ids[0])
+    cluster.scheduler.escalate(target)
+    cluster.mark_down(target)
+    assert cluster.tick() == [] or target not in cluster.tick()
+    # The escalation is retained, not dropped: first tick after recovery
+    # refreshes the shard even though it is outside the round-robin budget.
+    cluster.mark_up(target)
+    assert target in cluster.tick()
+
+
+def test_cluster_controller_reallocates_refresh_budget():
+    truth = np.abs(np.random.default_rng(0).lognormal(0, 1, (40, 6))) + 0.1
+    cluster = ServingCluster(4, 6, refresh_budget=1)
+    names = [f"q{i}" for i in range(40)]
+    cluster.add_tenant("t", names)
+    rows = np.arange(40)
+    cluster.observe_batch("t", rows, np.zeros(40, dtype=np.int64), truth[:, 0])
+    best = truth.argmin(axis=1)
+    cluster.observe_batch("t", rows, best, truth[rows, best])
+    controller = ClusterAdaptationController(
+        cluster,
+        lambda key, hint: truth[int(key.split("/", 1)[1][1:]), hint],
+        config=AdaptiveConfig(window=64, min_samples=16, cooldown_ticks=0),
+    )
+    truth *= 3.0
+    for _ in range(2):
+        decisions = cluster.serve_batch("t", rows)
+        controller.record("t", decisions, truth[decisions.queries, decisions.hints])
+    responded = controller.tick()
+    assert len(responded) >= 2
+    # Budget reallocated up while shards are responding/recovering ...
+    assert cluster.scheduler.budget_per_tick >= len(responded)
+    for _ in range(40):
+        cluster.tick()
+        if not controller.tick() and all(
+            not c.backlog.size for c in controller._controllers.values()
+        ):
+            break
+    controller.tick()
+    # ... and restored to the configured base once the cluster is calm.
+    assert cluster.scheduler.budget_per_tick == 1
+
+
+def test_adaptive_stats_merge_and_dict():
+    a = AdaptiveStats(responses=1, explored_cells=10, last_drift_score=0.5)
+    b = AdaptiveStats(responses=2, explored_cells=5, last_drift_score=0.2)
+    merged = AdaptiveStats.merge([a, b])
+    assert merged.responses == 3
+    assert merged.explored_cells == 15
+    assert merged.last_drift_score == 0.5
+    payload = merged.as_dict()
+    assert payload["responses"] == 3
+    assert isinstance(payload["responses"], int)
+
+
+def test_row_oracle_timeout_semantics():
+    oracle = RowOracle(lambda q, h: 10.0)
+    done = oracle.execute(0, 0)
+    assert not done.timed_out and done.charged_time == 10.0
+    censored = oracle.execute(0, 0, timeout=5.0)
+    assert censored.timed_out and censored.charged_time == 5.0
+    many = oracle.execute_many([0, 1], [0, 1], [None, 5.0])
+    assert [r.timed_out for r in many] == [False, True]
+    with pytest.raises(AdaptiveError):
+        RowOracle("not-callable")
+
+
+# -- cluster controller ---------------------------------------------------------------
+def test_cluster_adaptation_escalates_and_recovers():
+    spec = WorkloadSpec(
+        name="cluster-adaptive",
+        n_queries=80,
+        n_hints=8,
+        default_total=800.0,
+        optimal_total=320.0,
+        rank=4,
+    )
+    truth = generate_workload(spec, seed=3).true_latencies.copy()
+    cluster = ServingCluster(3, 8, refresh_budget=1)
+    names = [f"q{i}" for i in range(80)]
+    cluster.add_tenant("acme", names)
+    rows = np.arange(80)
+    cluster.observe_batch("acme", rows, np.zeros(80, dtype=np.int64), truth[:, 0])
+    best = truth.argmin(axis=1)
+    cluster.observe_batch("acme", rows, best, truth[rows, best])
+    controller = ClusterAdaptationController(
+        cluster,
+        lambda key, hint: truth[int(key.split("/", 1)[1][1:]), hint],
+        config=AdaptiveConfig(window=128, min_samples=32, cooldown_ticks=0),
+    )
+    truth *= 3.0  # cluster-wide drift
+    for _ in range(2):
+        decisions = cluster.serve_batch("acme", rows)
+        controller.record(
+            "acme", decisions, truth[decisions.queries, decisions.hints]
+        )
+    responded = controller.tick()
+    assert responded, "no shard responded to a 3x cluster-wide drift"
+    # Responding shards were escalated outside the round-robin budget.
+    assert cluster.scheduler.escalations >= len(responded)
+    refreshed = cluster.tick()
+    assert set(responded) <= set(refreshed)
+    report = controller.report()
+    assert report.responses >= len(responded)
+    assert report.invalidated_rows > 0
+    # Topology change wipes window epochs and shard controllers.
+    controller.notify_topology_change()
+    assert controller.shard_reports() == {}
+    with pytest.raises(AdaptiveError):
+        ClusterAdaptationController(cluster, "nope")

@@ -124,6 +124,7 @@ class TestSuite:
             "explore_200_steps",
             "tcnn_predict_full",
             "serve_batch",
+            "adapt_drift",
         ]
 
     def test_suite_rejects_unknown_scale(self):

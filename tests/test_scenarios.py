@@ -1,0 +1,294 @@
+"""Tests for the declarative traffic/scenario engine (repro.scenarios)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    ScenarioEvent,
+    ScenarioPhase,
+    ScenarioRunner,
+    ScenarioSpec,
+    TenantSpec,
+    TenantWorld,
+    drift_benchmark_scenarios,
+    standard_scenarios,
+    tenant_churn,
+)
+
+
+def tiny_spec(**overrides):
+    base = dict(
+        name="tiny",
+        seed=1,
+        tenants=(TenantSpec(name="a", n_queries=30, n_hints=6),),
+        phases=(
+            ScenarioPhase(name="steady", ticks=4, batch_size=32),
+            ScenarioPhase(name="after", ticks=4, batch_size=32),
+        ),
+        events=(
+            ScenarioEvent(
+                tick=4,
+                action="data_drift",
+                tenant="a",
+                params={"changed_fraction": 0.3, "growth_factor": 1.2},
+            ),
+        ),
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+# -- spec validation ---------------------------------------------------------------
+def test_spec_validation_errors():
+    with pytest.raises(ScenarioError):
+        TenantSpec(name="bad/name")
+    with pytest.raises(ScenarioError):
+        TenantSpec(name="a", initial_fraction=0.0)
+    with pytest.raises(ScenarioError):
+        ScenarioPhase(name="p", ticks=0)
+    with pytest.raises(ScenarioError):
+        ScenarioPhase(name="p", ticks=1, diurnal_amplitude=1.5)
+    with pytest.raises(ScenarioError):
+        ScenarioEvent(tick=0, action="warp_reality", tenant="a")
+    with pytest.raises(ScenarioError):
+        ScenarioEvent(tick=0, action="tenant_join")  # needs a tenant_spec
+    with pytest.raises(ScenarioError):
+        ScenarioEvent(tick=0, action="data_drift")  # needs a tenant
+    with pytest.raises(ScenarioError):
+        tiny_spec(events=(ScenarioEvent(tick=99, action="data_drift", tenant="a"),))
+    with pytest.raises(ScenarioError):
+        tiny_spec(events=(ScenarioEvent(tick=1, action="data_drift", tenant="ghost"),))
+    with pytest.raises(ScenarioError):
+        tiny_spec(tenants=(TenantSpec(name="a"), TenantSpec(name="a")))
+    with pytest.raises(ScenarioError):
+        tiny_spec(seed=-1)
+    with pytest.raises(ScenarioError):
+        TenantSpec(name="a", seed=-3)
+
+
+def test_spec_timeline_helpers():
+    spec = tiny_spec()
+    assert spec.total_ticks == 8
+    phase, start = spec.phase_at(5)
+    assert phase.name == "after" and start == 4
+    assert [e.action for e in spec.events_at(4)] == ["data_drift"]
+    assert spec.first_disturbance_tick() == 4
+    calm = tiny_spec(events=())
+    assert calm.first_disturbance_tick() is None
+    drifting = tiny_spec(
+        events=(),
+        phases=(
+            ScenarioPhase(name="p1", ticks=3),
+            ScenarioPhase(
+                name="p2",
+                ticks=3,
+                drift_per_tick={"changed_fraction": 0.02, "growth_factor": 1.01},
+            ),
+        ),
+    )
+    assert drifting.first_disturbance_tick() == 3
+
+
+def test_runner_rejects_bad_targets():
+    with pytest.raises(ScenarioError):
+        ScenarioRunner(tiny_spec(), target="mainframe")
+    with pytest.raises(ScenarioError):
+        ScenarioRunner(tenant_churn(), target="service")  # add_shard needs cluster
+    with pytest.raises(ScenarioError):
+        ScenarioRunner(tiny_spec(), bootstrap_coverage=1.5)
+
+
+# -- world ------------------------------------------------------------------------
+def test_tenant_world_mutations():
+    world = TenantWorld(
+        TenantSpec(name="a", n_queries=20, n_hints=6, initial_fraction=0.7), seed=0
+    )
+    assert world.visible == 14 and world.n_rows == 20
+    before = world.latencies.copy()
+    rng = np.random.default_rng(0)
+    changed = world.apply_drift(0.3, 1.1, rng)
+    assert changed == 6
+    assert not np.allclose(world.latencies, before)
+
+    world.activate_rest()  # rows may only be appended once fully visible
+    etl_names = world.add_etl_rows(3, latency=100.0, jitter=0.01, rng=rng)
+    assert world.n_rows == 23 and world.visible == 23
+    etl_rows = world.latencies[[world.row_of(n) for n in etl_names]]
+    assert np.all(etl_rows.argmin(axis=1) == 0)  # incompressible
+
+    new_names = world.add_template_rows(2, rng)
+    assert world.n_rows == 25
+    assert all(world.row_of(n) >= 23 for n in new_names)
+
+    # activate_rest is a no-op once everything is visible.
+    assert world.activate_rest() == []
+    with pytest.raises(ScenarioError):
+        world.row_of("nope")
+
+
+def test_spec_rejects_row_adds_behind_a_held_back_split():
+    """Appending rows while a 70/30 split is still held back would expose
+    never-registered rows to traffic; the spec rejects it at definition."""
+    partial = TenantSpec(name="a", n_queries=30, n_hints=6, initial_fraction=0.7)
+    phases = (ScenarioPhase(name="p", ticks=8, batch_size=32),)
+    with pytest.raises(ScenarioError):
+        ScenarioSpec(
+            name="bad",
+            seed=0,
+            tenants=(partial,),
+            phases=phases,
+            events=(
+                ScenarioEvent(
+                    tick=2, action="etl_flood", tenant="a", params={"count": 2}
+                ),
+            ),
+        )
+    # Ordered after activate_rest the same events are fine — and runnable.
+    spec = ScenarioSpec(
+        name="good",
+        seed=0,
+        tenants=(partial,),
+        phases=phases,
+        events=(
+            ScenarioEvent(tick=2, action="activate_rest", tenant="a"),
+            ScenarioEvent(
+                tick=4, action="new_templates", tenant="a", params={"count": 2}
+            ),
+        ),
+    )
+    trace = ScenarioRunner(spec, adaptive=False).run()
+    assert len(trace.ticks) == 8
+
+
+def test_world_refuses_row_adds_behind_held_back_split():
+    world = TenantWorld(
+        TenantSpec(name="a", n_queries=10, n_hints=4, initial_fraction=0.5), seed=0
+    )
+    rng = np.random.default_rng(0)
+    with pytest.raises(ScenarioError):
+        world.add_etl_rows(2, latency=10.0, jitter=0.01, rng=rng)
+    world.activate_rest()
+    assert len(world.add_etl_rows(2, latency=10.0, jitter=0.01, rng=rng)) == 2
+
+
+def test_world_activation_order_is_registration_order():
+    world = TenantWorld(
+        TenantSpec(name="a", n_queries=10, n_hints=4, initial_fraction=0.5), seed=0
+    )
+    newly = world.activate_rest()
+    assert newly == [f"q{i}" for i in range(5, 10)]
+    assert world.visible == 10
+
+
+# -- runner determinism --------------------------------------------------------------
+def test_replay_determinism_static_and_adaptive():
+    spec = tiny_spec()
+    for adaptive in (False, True):
+        a = ScenarioRunner(spec, adaptive=adaptive).run()
+        b = ScenarioRunner(spec, adaptive=adaptive).run()
+        assert a.decisions_blob() == b.decisions_blob()
+        assert np.array_equal(a.served, b.served)
+    # A different seed produces a different trace.
+    other = ScenarioRunner(tiny_spec(seed=2), adaptive=True).run()
+    baseline = ScenarioRunner(spec, adaptive=True).run()
+    assert other.decisions_blob() != baseline.decisions_blob()
+
+
+def test_static_and_adaptive_share_traffic_and_ground_truth():
+    spec = tiny_spec()
+    static = ScenarioRunner(spec, adaptive=False).run()
+    adaptive = ScenarioRunner(spec, adaptive=True).run()
+    # Same arrivals, same default/optimal reference latencies -- only the
+    # served decisions (and thus served latency) may differ.
+    assert np.array_equal(static.arrivals, adaptive.arrivals)
+    assert np.allclose(static.default, adaptive.default)
+    assert np.allclose(static.optimal, adaptive.optimal)
+
+
+def test_trace_series_and_summary():
+    trace = ScenarioRunner(tiny_spec(), adaptive=False).run()
+    assert len(trace.ticks) == 8
+    assert trace.served.shape == (8,)
+    improvement = trace.improvement()
+    assert np.all(improvement <= 1.0)
+    summary = trace.summary()
+    assert summary["arrivals"] == trace.arrivals.sum()
+    assert summary["served_latency"] == pytest.approx(trace.served.sum())
+    assert trace.adaptive_report is None
+
+
+def test_adaptive_run_reports_and_improves():
+    spec = tiny_spec(
+        phases=(
+            ScenarioPhase(name="steady", ticks=4, batch_size=64),
+            ScenarioPhase(name="after", ticks=10, batch_size=64),
+        ),
+        events=(
+            ScenarioEvent(
+                tick=4,
+                action="data_drift",
+                tenant="a",
+                params={"changed_fraction": 0.4, "growth_factor": 1.2},
+            ),
+        ),
+    )
+    static = ScenarioRunner(spec, adaptive=False).run()
+    adaptive = ScenarioRunner(spec, adaptive=True).run()
+    assert adaptive.adaptive_report is not None
+    assert adaptive.adaptive_report["responses"] >= 1
+    assert adaptive.served[-3:].sum() < static.served[-3:].sum()
+
+
+# -- events through the runner ---------------------------------------------------------
+def test_workload_shift_and_new_templates_grow_serving():
+    spec = ScenarioSpec(
+        name="shift",
+        seed=3,
+        tenants=(
+            TenantSpec(name="a", n_queries=30, n_hints=6, initial_fraction=0.6),
+        ),
+        phases=(ScenarioPhase(name="p", ticks=6, batch_size=32),),
+        events=(
+            ScenarioEvent(tick=2, action="activate_rest", tenant="a"),
+            ScenarioEvent(
+                tick=4, action="new_templates", tenant="a", params={"count": 5}
+            ),
+            ScenarioEvent(
+                tick=4, action="etl_flood", tenant="a",
+                params={"count": 3, "latency": 50.0},
+            ),
+        ),
+    )
+    runner = ScenarioRunner(spec, adaptive=False)
+    trace = runner.run()
+    assert len(trace.ticks) == 6
+    # All 30 + 5 + 3 rows ended up registered and servable.
+    decisions = np.frombuffer(trace.decisions_blob(), dtype=np.int64)
+    assert decisions.max() <= 38
+
+
+def test_tenant_churn_runs_on_cluster():
+    spec = tenant_churn(seed=0, n_queries=30, batch_size=48)
+    adaptive = ScenarioRunner(spec, target="cluster", adaptive=True, n_shards=2).run()
+    replay = ScenarioRunner(spec, target="cluster", adaptive=True, n_shards=2).run()
+    assert adaptive.decisions_blob() == replay.decisions_blob()
+    assert adaptive.adaptive_report is not None
+    # gamma joined cold and beta left: the run must still have served every tick.
+    assert np.all(adaptive.arrivals > 0)
+
+
+# -- the library -----------------------------------------------------------------------
+def test_scenario_library_shapes():
+    library = standard_scenarios(seed=0)
+    assert len(library) >= 7
+    for name, spec in library.items():
+        assert spec.name == name
+        assert spec.total_ticks >= 8
+    bench = drift_benchmark_scenarios(seed=0)
+    assert len(bench) >= 6
+    for spec in bench.values():
+        assert spec.first_disturbance_tick() is not None
+        assert not spec.uses_cluster_actions()
+    # Seeds propagate into the spec, so the library is replayable by value.
+    assert standard_scenarios(seed=5)["etl_flood"].seed == 5
