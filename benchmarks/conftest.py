@@ -3,4 +3,17 @@
 The benchmarks are experiment regenerators (one per paper table / figure)
 rather than micro-benchmarks; shared helpers live in ``_bench_utils`` so
 they can be imported without clashing with the unit-test conftest.
+
+Every test collected from this directory is auto-marked ``perf`` (its
+numbers only mean something on a quiet machine) and ``slow``, so the
+fast lane -- ``pytest -m "not slow"`` -- is the unit suite alone.
 """
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if "benchmarks" in item.path.parts:
+            item.add_marker(pytest.mark.perf)
+            item.add_marker(pytest.mark.slow)

@@ -9,6 +9,8 @@ downstream user needs most:
 * exploration policies and the offline explorer / simulator,
 * the online plan cache and the :class:`~repro.core.limeqo.LimeQO` facade,
 * the batched high-throughput serving layer (:mod:`repro.serving`),
+* the asyncio ingress with request coalescing and admission control
+  (:mod:`repro.ingress`),
 * the sharded multi-tenant serving cluster (:mod:`repro.cluster`),
 * the drift-aware adaptation controller (:mod:`repro.adaptive`),
 * the declarative traffic/scenario engine (:mod:`repro.scenarios`),
@@ -38,6 +40,7 @@ from .config import (
     ALSConfig,
     AdaptiveConfig,
     ExplorationConfig,
+    IngressConfig,
     SimulationConfig,
     TCNNConfig,
 )
@@ -74,6 +77,12 @@ from .cluster import (
 )
 from .db import HintSet, all_hint_sets, default_hint_set
 from .errors import ReproError
+from .ingress import (
+    ClusterIngress,
+    IngressDecision,
+    IngressStats,
+    ServiceIngress,
+)
 from .serving import (
     BatchDecisions,
     BatchedLatencyEstimator,
@@ -121,8 +130,13 @@ __all__ = [
     "ALSConfig",
     "AdaptiveConfig",
     "ExplorationConfig",
+    "IngressConfig",
     "SimulationConfig",
     "TCNNConfig",
+    "ClusterIngress",
+    "IngressDecision",
+    "IngressStats",
+    "ServiceIngress",
     "ALSCompleter",
     "ALSPredictor",
     "BaoCachePolicy",

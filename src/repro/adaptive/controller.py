@@ -32,6 +32,12 @@ monitor hook, so attaching it is one assignment::
     ...
     service.record_measured(decisions, measured)   # per served batch
     controller.tick()                               # background cadence
+
+Deployments built on the asyncio front door do not drive :meth:`tick`
+themselves: :class:`repro.ingress.ServiceIngress` hosts it as a
+background event-loop task (a
+:class:`~repro.ingress.background.PeriodicTicker`) for as long as the
+ingress is started, firing every ``IngressConfig.tick_interval_s``.
 """
 
 from __future__ import annotations

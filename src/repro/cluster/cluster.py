@@ -117,6 +117,7 @@ class ServingCluster:
         self._routed_batches = 0
         self._fan_out_total = 0
         self._degraded_decisions = 0
+        self._shed_decisions = 0
         self._rebalanced_rows = 0
         for _ in range(n_shards):
             self._create_shard()
@@ -407,6 +408,18 @@ class ServingCluster:
         """Tick until every reachable shard is clean; returns refreshes run."""
         return self.scheduler.drain()
 
+    # -- admission control --------------------------------------------------------------
+    def record_shed(self, count: int = 1) -> None:
+        """Count arrivals degraded to default plans by an ingress layer.
+
+        Shed requests never reach a shard (that is the point of admission
+        control), so the counter lives on the cluster facade rather than
+        any shard's recorder; it surfaces in :class:`ClusterStats`.
+        """
+        if count < 0:
+            raise ClusterError(f"shed count must be >= 0, got {count}")
+        self._shed_decisions += int(count)
+
     # -- failover ---------------------------------------------------------------------
     def mark_down(self, shard_id: int) -> None:
         """Degrade a shard: its queries get default plans until marked up."""
@@ -469,6 +482,7 @@ class ServingCluster:
                 else 0.0
             ),
             degraded_decisions=self._degraded_decisions,
+            shed_decisions=self._shed_decisions,
             rebalanced_rows=self._rebalanced_rows,
             scheduler_ticks=self.scheduler.ticks,
             scheduler_refreshes=self.scheduler.refreshes,

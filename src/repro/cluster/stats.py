@@ -46,6 +46,9 @@ class ClusterStats:
     degraded_decisions:
         Arrivals answered with the default plan because their shard was
         down.
+    shed_decisions:
+        Arrivals answered with the default plan by ingress admission
+        control before reaching any shard (:meth:`ServingCluster.record_shed`).
     rebalanced_rows:
         Rows migrated between shards by topology changes so far.
     scheduler_ticks / scheduler_refreshes:
@@ -64,6 +67,7 @@ class ClusterStats:
     rebalanced_rows: int
     scheduler_ticks: int
     scheduler_refreshes: int
+    shed_decisions: int = 0
 
     def as_dict(self) -> Dict[str, Union[int, float, Dict]]:
         """Plain nested dictionary for dashboards and benchmark JSON."""
@@ -79,6 +83,7 @@ class ClusterStats:
             "routed_batches": self.routed_batches,
             "fan_out": self.fan_out,
             "degraded_decisions": self.degraded_decisions,
+            "shed_decisions": self.shed_decisions,
             "rebalanced_rows": self.rebalanced_rows,
             "scheduler_ticks": self.scheduler_ticks,
             "scheduler_refreshes": self.scheduler_refreshes,
@@ -90,6 +95,7 @@ class ClusterStats:
             f"{self.cluster.decisions} decisions, "
             f"parallel {self.parallel_qps:,.0f} qps, "
             f"degraded={self.degraded_decisions}, "
+            f"shed={self.shed_decisions}, "
             f"rebalanced={self.rebalanced_rows})"
         )
 

@@ -227,6 +227,57 @@ class AdaptiveConfig:
 
 
 @dataclass(frozen=True)
+class IngressConfig:
+    """Knobs of the asyncio ingress layer (:mod:`repro.ingress`).
+
+    The coalescer turns independent single-query ``await serve(...)`` calls
+    into the vectorised batches the serving layer is fast at.  A batch is
+    flushed as soon as ``max_batch`` requests are pending, or when the
+    *oldest* pending request has waited ``max_wait_s`` -- whichever comes
+    first, so ``max_wait_s`` is the queueing-delay SLO an arrival can be
+    charged by coalescing (it bounds time-in-queue, not the backend's own
+    decision time).
+
+    Admission is a bounded queue: at most ``queue_capacity`` requests may
+    be pending at once.  Overflow arrivals are *shed*, not errored: they
+    are answered immediately with the default plan (the paper's
+    no-regression anchor, so shedding is safe by construction) and counted
+    in :class:`~repro.serving.stats.ServingStats` under ``shed``.
+
+    ``tick_interval_s`` / ``refresh_interval_s`` are the cadences of the
+    background asyncio tasks the ingress hosts: the adaptation
+    controller's detection tick and the (cluster scheduler or single
+    service) warm-ALS refresh tick.  Both run on the event loop between
+    batches -- never on a request's await path.
+    """
+
+    max_batch: int = 256
+    max_wait_s: float = 0.001
+    queue_capacity: int = 4096
+    tick_interval_s: float = 0.05
+    refresh_interval_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_s < 0:
+            raise ConfigError(f"max_wait_s must be >= 0, got {self.max_wait_s}")
+        if self.queue_capacity < self.max_batch:
+            raise ConfigError(
+                f"queue_capacity ({self.queue_capacity}) must be >= max_batch "
+                f"({self.max_batch}): a full batch must be admittable"
+            )
+        if self.tick_interval_s <= 0:
+            raise ConfigError(
+                f"tick_interval_s must be > 0, got {self.tick_interval_s}"
+            )
+        if self.refresh_interval_s <= 0:
+            raise ConfigError(
+                f"refresh_interval_s must be > 0, got {self.refresh_interval_s}"
+            )
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Controls the simulated offline exploration clock."""
 
@@ -246,6 +297,7 @@ class SimulationConfig:
 
 
 DEFAULT_ADAPTIVE_CONFIG = AdaptiveConfig()
+DEFAULT_INGRESS_CONFIG = IngressConfig()
 DEFAULT_ALS_CONFIG = ALSConfig()
 DEFAULT_EXPLORATION_CONFIG = ExplorationConfig()
 DEFAULT_TCNN_CONFIG = TCNNConfig()

@@ -82,3 +82,7 @@ class ScenarioError(ReproError):
 
 class AdaptiveError(ReproError):
     """Raised by the drift-aware adaptation controller."""
+
+
+class IngressError(ReproError):
+    """Raised by the asyncio ingress layer (coalescing front door)."""

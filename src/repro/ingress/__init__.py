@@ -1,0 +1,29 @@
+"""Async ingress: request coalescing, admission control, background loops.
+
+The millions-of-users front door over the serving stack.  Independent
+clients ``await serve(...)`` one query at a time; the ingress coalesces
+concurrent requests into the vectorised batches
+:class:`~repro.serving.ServingService` / :class:`~repro.cluster.ServingCluster`
+are fast at (under a ``max_wait_s`` latency SLO), sheds overload to
+default plans through a bounded admission queue (safe by the paper's
+no-regression guarantee; counted in serving stats), and hosts the
+adaptation-controller and refresh-scheduler ticks as background asyncio
+tasks.
+
+Decisions through the ingress are byte-identical to the synchronous
+batch path -- coalescing changes when a snapshot lookup runs, never what
+it returns.
+"""
+
+from .background import PeriodicTicker
+from .coalescer import CoalescerCore
+from .ingress import ClusterIngress, IngressDecision, IngressStats, ServiceIngress
+
+__all__ = [
+    "ClusterIngress",
+    "CoalescerCore",
+    "IngressDecision",
+    "IngressStats",
+    "PeriodicTicker",
+    "ServiceIngress",
+]

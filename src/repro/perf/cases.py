@@ -1,6 +1,6 @@
 """The library's named hot paths, packaged as perf cases.
 
-Six paths cover every layer a figure benchmark or the serving stack
+Seven paths cover every layer a figure benchmark or the serving stack
 exercises:
 
 * ``als_cold``       -- one full censored-ALS solve from scratch,
@@ -10,6 +10,9 @@ exercises:
                         (Algorithm 1 with the incremental ALS predictor),
 * ``tcnn_predict_full`` -- a full-matrix TCNN prediction pass,
 * ``serve_batch``    -- the batched online serving path,
+* ``ingress_serve``  -- the asyncio front door: per-request awaits
+                        coalesced into vectorised batches (event-loop,
+                        future, and coalescer overhead included),
 * ``adapt_drift``    -- the drift-adaptation loop: residual recording,
                         detection, and one budgeted response (invalidate +
                         re-anchor + re-explore + warm refresh).
@@ -43,6 +46,7 @@ SCALES: Dict[str, Dict[str, int]] = {
         "explore_steps": 60,
         "serve_batches": 50,
         "serve_batch_size": 512,
+        "ingress_requests": 2000,
         "repeats": 3,
     },
     "default": {
@@ -51,6 +55,7 @@ SCALES: Dict[str, Dict[str, int]] = {
         "explore_steps": 200,
         "serve_batches": 200,
         "serve_batch_size": 1024,
+        "ingress_requests": 8000,
         "repeats": 3,
     },
 }
@@ -206,6 +211,44 @@ def build_suite(scale_name: str = "smoke") -> PerfHarness:
         return {"served": served}
 
     harness.add("serve_batch", run_serving, setup=setup_serving, repeats=repeats)
+
+    # -- ingress_serve -----------------------------------------------------
+    def setup_ingress():
+        workload = _workload(scale)
+        matrix = _partial_matrix(workload, fill=0.4)
+        service = ServingService(matrix)
+        rng = np.random.default_rng(7)
+        queries = rng.integers(
+            0, matrix.n_queries, size=scale["ingress_requests"]
+        ).tolist()
+        return service, queries
+
+    def run_ingress(state):
+        import asyncio
+
+        from ..config import IngressConfig
+        from ..ingress import ServiceIngress
+
+        service, queries = state
+        # Capacity covers the whole burst: this case measures the
+        # coalescing hot path, not admission control.
+        config = IngressConfig(
+            max_batch=256,
+            max_wait_s=0.001,
+            queue_capacity=max(256, len(queries)),
+        )
+
+        async def drive():
+            async with ServiceIngress(service, config) as ingress:
+                return await ingress.serve_many(queries)
+
+        results = asyncio.run(drive())
+        return {
+            "served": len(results),
+            "shed": sum(1 for r in results if r.shed),
+        }
+
+    harness.add("ingress_serve", run_ingress, setup=setup_ingress, repeats=repeats)
 
     # -- adapt_drift -------------------------------------------------------
     def setup_adapt():

@@ -306,9 +306,16 @@ class ScenarioRunner:
     spec:
         The scenario timeline.
     target:
-        ``"service"`` (one union :class:`ServingService`) or ``"cluster"``
+        ``"service"`` (one union :class:`ServingService`), ``"cluster"``
         (a :class:`ServingCluster`; required when the spec contains
-        cluster-only events).
+        cluster-only events), or a *callable* ``factory(worlds) -> target``
+        returning a custom target object implementing the same protocol as
+        the built-ins (``register`` / ``serve`` / ``observe`` /
+        ``record_measured`` / ``background_tick`` / ``add_shard`` /
+        ``adaptive_report``).  The factory hook is how alternative serving
+        paths -- e.g. the asyncio ingress in
+        ``benchmarks/test_ingress_load.py`` -- replay byte-identical
+        scenario traffic without the runner knowing about them.
     adaptive:
         With False the serving stack is a *static snapshot cache*: it is
         bootstrapped once and never told what execution measured -- the
@@ -334,15 +341,18 @@ class ScenarioRunner:
         refresh_iterations: int = 3,
         refresh_budget: int = 1,
     ) -> None:
-        if target not in ("service", "cluster"):
-            raise ScenarioError(
-                f"target must be 'service' or 'cluster', got {target!r}"
-            )
-        if spec.uses_cluster_actions() and target != "cluster":
-            raise ScenarioError(
-                f"scenario {spec.name!r} contains cluster-only events; "
-                "run it with target='cluster'"
-            )
+        self._target_factory = target if callable(target) else None
+        if self._target_factory is None:
+            if target not in ("service", "cluster"):
+                raise ScenarioError(
+                    f"target must be 'service', 'cluster', or a factory "
+                    f"callable, got {target!r}"
+                )
+            if spec.uses_cluster_actions() and target != "cluster":
+                raise ScenarioError(
+                    f"scenario {spec.name!r} contains cluster-only events; "
+                    "run it with target='cluster'"
+                )
         if not 0.0 <= bootstrap_coverage <= 1.0:
             raise ScenarioError(
                 f"bootstrap_coverage must be in [0, 1], got {bootstrap_coverage}"
@@ -358,7 +368,7 @@ class ScenarioRunner:
                 f"width, got {sorted(hints)}"
             )
         self.spec = spec
-        self.target_kind = target
+        self.target_kind = "custom" if self._target_factory is not None else target
         self.adaptive = bool(adaptive)
         self.adaptive_config = adaptive_config or AdaptiveConfig()
         self.policy_factory = policy_factory
@@ -372,6 +382,8 @@ class ScenarioRunner:
 
     # -- construction ------------------------------------------------------------
     def _build_target(self, worlds: Dict[str, TenantWorld]):
+        if self._target_factory is not None:
+            return self._target_factory(worlds)
         if self.target_kind == "cluster":
             return _ClusterTarget(
                 worlds,

@@ -37,6 +37,13 @@ class ServingStats:
         the no-regression guarantee).
     refreshes:
         How many model/cache refreshes ran (incremental ALS updates).
+    shed:
+        Arrivals answered with the default plan by admission control
+        (:mod:`repro.ingress` load-shedding) instead of the decision
+        arrays.  Shed answers are valid decisions -- the no-regression
+        guarantee is anchored on the default plan -- but they never touch
+        the snapshot, so they are counted here and *not* in ``decisions``
+        or the latency percentiles.
     """
 
     decisions: int
@@ -47,6 +54,7 @@ class ServingStats:
     p99_latency_s: float
     non_default_fraction: float
     refreshes: int
+    shed: int = 0
 
     def as_dict(self) -> Dict[str, Union[int, float]]:
         """Plain dictionary for dashboards and log lines.
@@ -63,6 +71,7 @@ class ServingStats:
             "p99_latency_s": self.p99_latency_s,
             "non_default_fraction": self.non_default_fraction,
             "refreshes": int(self.refreshes),
+            "shed": int(self.shed),
         }
 
     @classmethod
@@ -82,6 +91,7 @@ class ServingStats:
         batches = sum(p.batches for p in parts)
         wall = float(sum(p.wall_seconds for p in parts))
         refreshes = sum(p.refreshes for p in parts)
+        shed = sum(p.shed for p in parts)
         if decisions == 0:
             return cls(
                 decisions=0,
@@ -92,6 +102,7 @@ class ServingStats:
                 p99_latency_s=0.0,
                 non_default_fraction=0.0,
                 refreshes=refreshes,
+                shed=shed,
             )
         served = [p for p in parts if p.decisions > 0]
         weights = [p.decisions for p in served]
@@ -107,6 +118,7 @@ class ServingStats:
             p99_latency_s=float(p99),
             non_default_fraction=float(non_default) / decisions,
             refreshes=int(refreshes),
+            shed=int(shed),
         )
 
     def __str__(self) -> str:
@@ -116,7 +128,8 @@ class ServingStats:
             f"p50={self.p50_latency_s * 1e6:.1f}us, "
             f"p99={self.p99_latency_s * 1e6:.1f}us, "
             f"hit_rate={self.non_default_fraction:.1%}, "
-            f"refreshes={self.refreshes})"
+            f"refreshes={self.refreshes}, "
+            f"shed={self.shed})"
         )
 
 
@@ -152,6 +165,7 @@ class LatencyRecorder:
         self._batch_seconds: List[float] = []
         self._non_default: List[int] = []
         self._refreshes = 0
+        self._shed = 0
 
     def record(self, batch_size: int, seconds: float, non_default: int) -> None:
         """Log one served batch."""
@@ -162,6 +176,10 @@ class LatencyRecorder:
     def record_refresh(self) -> None:
         """Log one model/cache refresh."""
         self._refreshes += 1
+
+    def record_shed(self, count: int = 1) -> None:
+        """Log arrivals degraded to default plans by admission control."""
+        self._shed += int(count)
 
     def report(self) -> ServingStats:
         """Fold the accumulated timings into a :class:`ServingStats`."""
@@ -179,6 +197,7 @@ class LatencyRecorder:
                 p99_latency_s=0.0,
                 non_default_fraction=0.0,
                 refreshes=self._refreshes,
+                shed=self._shed,
             )
         # Each decision in a batch experiences the batch's amortised latency,
         # so the percentiles are over a weighted population (one value per
@@ -197,14 +216,16 @@ class LatencyRecorder:
             p99_latency_s=float(p99),
             non_default_fraction=float(sum(self._non_default)) / decisions,
             refreshes=self._refreshes,
+            shed=self._shed,
         )
 
     def reset(self) -> None:
-        """Drop all accumulated timings (refresh count included)."""
+        """Drop all accumulated timings (refresh and shed counts included)."""
         self._batch_sizes.clear()
         self._batch_seconds.clear()
         self._non_default.clear()
         self._refreshes = 0
+        self._shed = 0
 
     @classmethod
     def merged(cls, recorders: Sequence["LatencyRecorder"]) -> "LatencyRecorder":
@@ -221,4 +242,5 @@ class LatencyRecorder:
             pooled._batch_seconds.extend(recorder._batch_seconds)
             pooled._non_default.extend(recorder._non_default)
             pooled._refreshes += recorder._refreshes
+            pooled._shed += recorder._shed
         return pooled

@@ -1,0 +1,113 @@
+"""Static audit: no library module may touch global random state.
+
+Every result in this repo -- exploration traces, scenario replays, the
+ingress identity gate -- leans on bit-for-bit reproducibility, which one
+stray ``np.random.shuffle`` (global NumPy state) or ``random.random()``
+(global stdlib state) quietly breaks for every caller in the process.
+The rule for ``src/repro``: randomness flows through explicitly seeded
+generators (``np.random.default_rng`` / ``Generator`` /
+``SeedSequence``) handed down from configs, never through module-global
+state.
+
+This is an AST audit, not a grep: it resolves the library's actual
+``np.``/``numpy.`` aliases and catches ``from numpy import random`` /
+``from random import ...`` spellings too, while ignoring comments and
+docstrings.
+"""
+
+import ast
+import pathlib
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+# Seeded-generator constructors: the only np.random attributes a library
+# module may use.
+ALLOWED_NP_RANDOM = {"default_rng", "Generator", "SeedSequence", "BitGenerator"}
+
+
+def _np_random_violations(tree):
+    """Uses of ``np.random.<banned>`` / ``numpy.random.<banned>``."""
+    numpy_aliases = {"numpy"}
+    random_aliases = set()  # aliases bound to the numpy.random module itself
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    numpy_aliases.add(alias.asname or "numpy")
+                elif alias.name == "numpy.random":
+                    random_aliases.add(alias.asname or "numpy")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        random_aliases.add(alias.asname or "random")
+            elif node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name not in ALLOWED_NP_RANDOM:
+                        yield node.lineno, f"from numpy.random import {alias.name}"
+
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Attribute) and node.attr not in ALLOWED_NP_RANDOM):
+            continue
+        value = node.value
+        # np.random.<attr> with np a numpy alias
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in numpy_aliases
+        ):
+            yield node.lineno, f"{value.value.id}.random.{node.attr}"
+        # <alias>.<attr> with alias bound to numpy.random
+        elif isinstance(value, ast.Name) and value.id in random_aliases:
+            yield node.lineno, f"{value.id}.{node.attr}"
+
+
+def _stdlib_random_violations(tree):
+    """Any import of the stdlib ``random`` module (global Mersenne state)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield node.lineno, f"import {alias.name}"
+        elif isinstance(node, ast.ImportFrom) and node.module == "random":
+            yield node.lineno, "from random import ..."
+
+
+def test_source_tree_exists():
+    assert SRC_ROOT.is_dir()
+    assert list(SRC_ROOT.rglob("*.py")), "no library modules found to audit"
+
+
+def test_no_global_random_state_in_library_modules():
+    offenders = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for lineno, what in _np_random_violations(tree):
+            offenders.append(f"{path.relative_to(SRC_ROOT.parent)}:{lineno}: {what}")
+        for lineno, what in _stdlib_random_violations(tree):
+            offenders.append(f"{path.relative_to(SRC_ROOT.parent)}:{lineno}: {what}")
+    assert not offenders, (
+        "library modules must use explicitly seeded generators "
+        "(np.random.default_rng), never global random state:\n  "
+        + "\n  ".join(offenders)
+    )
+
+
+def test_the_audit_itself_catches_violations():
+    bad = ast.parse(
+        "import numpy as np\n"
+        "import random\n"
+        "from numpy.random import rand\n"
+        "x = np.random.shuffle([1])\n"
+        "y = random.random()\n"
+    )
+    assert len(list(_np_random_violations(bad))) == 2
+    assert len(list(_stdlib_random_violations(bad))) == 1
+    good = ast.parse(
+        "import numpy as np\n"
+        "rng = np.random.default_rng(0)\n"
+        "from numpy.random import Generator\n"
+    )
+    assert not list(_np_random_violations(good))
+    assert not list(_stdlib_random_violations(good))

@@ -1,0 +1,55 @@
+"""Smoke-test every example script as a fresh subprocess.
+
+The examples are the repo's living documentation -- each narrates one
+subsystem end to end and is referenced from the README.  API drift that
+breaks them is invisible to the unit suite (they import through the
+public ``repro`` namespace and print a story), so each one is executed
+exactly the way a reader would run it: a clean interpreter with
+``PYTHONPATH=src``, asserting a zero exit and a non-empty narration.
+
+The whole file is marked ``slow`` (policy_comparison alone runs ~15 s);
+the fast lane skips it with ``-m "not slow"``.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_the_example_gallery_is_where_we_expect_it():
+    # Guards the glob above: an empty parametrisation would silently
+    # pass while smoke-testing nothing.
+    assert EXAMPLES, f"no example scripts found under {EXAMPLES_DIR}"
+    assert {p.name for p in EXAMPLES} >= {"quickstart.py", "ingress_demo.py"}
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(example):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    proc = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{example.name} exited {proc.returncode}\n"
+        f"--- stdout ---\n{proc.stdout[-2000:]}\n"
+        f"--- stderr ---\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{example.name} printed nothing"
+    assert "Traceback" not in proc.stderr

@@ -1,0 +1,523 @@
+"""Tests for the asyncio ingress (repro.ingress).
+
+Three layers, matching the module's design:
+
+* :class:`CoalescerCore` is a pure state machine driven by an explicit
+  clock, so the load-bearing timing/ordering properties are checked
+  exactly -- including hypothesis sweeps over arbitrary submit/advance
+  interleavings (FIFO equivalence with sequential serving, per-caller
+  routing, and the ``max_wait_s`` SLO bound under a fake clock);
+* :class:`PeriodicTicker` hosts control loops as background tasks that
+  must survive their own exceptions;
+* :class:`ServiceIngress` / :class:`ClusterIngress` wire the core to
+  futures and timers -- decisions must equal the synchronous batch path,
+  route to the right caller, shed (never error) on overflow, and drain
+  on shutdown.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ServingCluster
+from repro.config import ALSConfig, IngressConfig
+from repro.core.workload_matrix import WorkloadMatrix
+from repro.errors import ClusterError, IngressError
+from repro.experiments.cluster import populate_cluster
+from repro.ingress import (
+    ClusterIngress,
+    CoalescerCore,
+    IngressDecision,
+    IngressStats,
+    PeriodicTicker,
+    ServiceIngress,
+)
+from repro.serving import IncrementalALSRefresher, ServingService
+
+
+def make_matrix(n=12, k=5, seed=2):
+    rng = np.random.default_rng(seed)
+    truth = rng.uniform(0.5, 20.0, size=(n, k))
+    matrix = WorkloadMatrix(n, k)
+    observed = rng.random((n, k)) < 0.5
+    observed[:, 0] = True
+    rows, cols = np.nonzero(observed)
+    matrix.observe_batch(rows, cols, truth[rows, cols])
+    return matrix
+
+
+def make_service(**kwargs):
+    return ServingService(make_matrix(), **kwargs)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# -- config ----------------------------------------------------------------------
+
+
+class TestIngressConfig:
+    def test_defaults_are_valid(self):
+        config = IngressConfig()
+        assert config.max_batch >= 1
+        assert config.queue_capacity >= config.max_batch
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch": 0},
+            {"max_wait_s": -0.1},
+            {"queue_capacity": 1, "max_batch": 2},
+            {"tick_interval_s": 0.0},
+            {"refresh_interval_s": -1.0},
+        ],
+    )
+    def test_invalid_knobs_raise(self, kwargs):
+        with pytest.raises(Exception):
+            IngressConfig(**kwargs)
+
+
+# -- the pure core ---------------------------------------------------------------
+
+
+class TestCoalescerCore:
+    def test_tokens_increase_and_fifo_batches(self):
+        core = CoalescerCore(IngressConfig(max_batch=3, max_wait_s=1.0))
+        tokens = [core.submit(f"p{i}", now=0.0) for i in range(3)]
+        assert tokens == [0, 1, 2]
+        assert core.ready(0.0)  # size trigger
+        batch = core.take_batch(0.0)
+        assert batch == [(0, "p0"), (1, "p1"), (2, "p2")]
+        assert core.queue_depth == 0
+
+    def test_not_ready_before_deadline_or_size(self):
+        core = CoalescerCore(IngressConfig(max_batch=4, max_wait_s=0.5))
+        core.submit("a", now=10.0)
+        assert not core.ready(10.0)
+        assert not core.ready(10.49)
+        assert core.take_batch(10.4) == []
+        assert core.ready(10.5)  # oldest hit the SLO bound
+        assert core.next_deadline() == pytest.approx(10.5)
+
+    def test_time_trigger_flushes_fifo_prefix(self):
+        core = CoalescerCore(IngressConfig(max_batch=2, max_wait_s=1.0))
+        core.submit("a", now=0.0)
+        core.submit("b", now=0.5)
+        core.submit("c", now=0.9)  # size trigger at depth 2 already passed
+        batch = core.take_batch(1.0)
+        assert [p for _, p in batch] == ["a", "b"]
+        assert [p for _, p in core.take_batch(2.0)] == ["c"]
+
+    def test_sheds_at_capacity(self):
+        core = CoalescerCore(
+            IngressConfig(max_batch=2, max_wait_s=1.0, queue_capacity=2)
+        )
+        assert core.submit("a", 0.0) is not None
+        assert core.submit("b", 0.0) is not None
+        assert core.submit("c", 0.0) is None
+        assert core.shed == 1 and core.submitted == 3
+        core.take_batch(0.0)
+        assert core.submit("d", 0.0) is not None  # capacity freed by flush
+
+    def test_force_drains_regardless_of_readiness(self):
+        core = CoalescerCore(IngressConfig(max_batch=8, max_wait_s=100.0))
+        core.submit("a", 0.0)
+        assert core.take_batch(0.0) == []
+        assert [p for _, p in core.take_batch(0.0, force=True)] == ["a"]
+
+    def test_clock_going_backwards_raises(self):
+        core = CoalescerCore(IngressConfig(max_batch=1, max_wait_s=0.0))
+        core.submit("a", now=5.0)
+        with pytest.raises(IngressError):
+            core.take_batch(4.0, force=True)
+
+    def test_telemetry(self):
+        core = CoalescerCore(IngressConfig(max_batch=2, max_wait_s=10.0))
+        core.submit("a", 0.0)
+        core.submit("b", 1.0)
+        core.take_batch(2.0)
+        assert core.mean_batch_size == 2.0
+        assert core.mean_queue_wait_s == pytest.approx(1.5)  # waited 2.0 and 1.0
+        assert core.max_queue_wait_s == pytest.approx(2.0)
+        assert core.max_queue_depth == 2
+
+
+# -- hypothesis: interleaving equivalence, routing, SLO bound ---------------------
+
+
+def drive_core(core, schedule):
+    """A faithful shell: flush whenever ready, else wait for the deadline.
+
+    ``schedule`` is a list of (delay, payload) arrivals.  Returns the
+    admitted payloads (in submit order), the flushed batches, and the
+    token->payload routing of every flushed request.
+    """
+    admitted, batches, routed = [], [], {}
+    now = 0.0
+    token_payload = {}
+    for delay, payload in schedule:
+        target = now + delay
+        # Before the next arrival, fire any deadline flushes that are due.
+        while True:
+            deadline = core.next_deadline()
+            if deadline is None or deadline > target:
+                break
+            now = deadline
+            batch = core.take_batch(now)
+            batches.append(batch)
+            routed.update({t: p for t, p in batch})
+        now = target
+        token = core.submit(payload, now)
+        if token is not None:
+            admitted.append(payload)
+            token_payload[token] = payload
+        while core.ready(now):  # size-triggered flush
+            batch = core.take_batch(now)
+            batches.append(batch)
+            routed.update({t: p for t, p in batch})
+    while core.queue_depth:  # shutdown drain
+        deadline = core.next_deadline()
+        now = max(now, deadline)
+        batch = core.take_batch(now)
+        batches.append(batch)
+        routed.update({t: p for t, p in batch})
+    return admitted, batches, routed, token_payload
+
+
+schedules = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=0.01, allow_nan=False),
+        st.integers(min_value=0, max_value=11),
+    ),
+    min_size=1,
+    max_size=60,
+)
+configs = st.builds(
+    IngressConfig,
+    max_batch=st.integers(min_value=1, max_value=8),
+    max_wait_s=st.floats(min_value=0.0, max_value=0.05, allow_nan=False),
+    queue_capacity=st.integers(min_value=8, max_value=64),
+)
+
+
+class TestCoalescerProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(schedule=schedules, config=configs)
+    def test_flush_order_equals_sequential_order(self, schedule, config):
+        """Concatenated batches == admitted submit order, each exactly once.
+
+        The backend snapshot lookup is a pure function of the payload, so
+        FIFO-without-loss-or-duplication is exactly the statement that any
+        interleaving yields the same decisions as serving the admitted
+        stream sequentially through the sync path.
+        """
+        core = CoalescerCore(config)
+        admitted, batches, _, _ = drive_core(core, schedule)
+        replayed = [p for batch in batches for _, p in batch]
+        assert replayed == admitted
+        assert all(len(b) <= config.max_batch for b in batches if b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(schedule=schedules, config=configs)
+    def test_every_response_routes_to_its_caller(self, schedule, config):
+        core = CoalescerCore(config)
+        _, _, routed, token_payload = drive_core(core, schedule)
+        assert routed == token_payload
+
+    @settings(max_examples=60, deadline=None)
+    @given(schedule=schedules, config=configs)
+    def test_no_admitted_request_waits_past_the_slo_bound(self, schedule, config):
+        core = CoalescerCore(config)
+        drive_core(core, schedule)
+        assert core.max_queue_wait_s <= config.max_wait_s + 1e-9
+
+
+# -- PeriodicTicker --------------------------------------------------------------
+
+
+class TestPeriodicTicker:
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(IngressError):
+            PeriodicTicker(lambda: None, 0.0)
+
+    def test_runs_periodically_and_stops(self):
+        calls = []
+
+        async def scenario():
+            ticker = PeriodicTicker(lambda: calls.append(1), 0.005, "t")
+            ticker.start()
+            with pytest.raises(IngressError):
+                ticker.start()  # double start
+            await asyncio.sleep(0.03)
+            await ticker.stop()
+            assert not ticker.running
+            settled = len(calls)
+            await asyncio.sleep(0.02)
+            assert len(calls) == settled  # genuinely stopped
+
+        run(scenario())
+        assert len(calls) >= 2
+
+    def test_exceptions_are_contained(self):
+        def boom():
+            raise ValueError("tick failed")
+
+        async def scenario():
+            ticker = PeriodicTicker(boom, 0.005, "b")
+            ticker.start()
+            await asyncio.sleep(0.03)
+            assert ticker.running  # still alive despite failures
+            await ticker.stop()
+            return ticker
+
+        ticker = run(scenario())
+        assert ticker.errors >= 2
+        assert isinstance(ticker.last_error, ValueError)
+        assert ticker.runs == 0
+
+    def test_fire_now_counts_a_run(self):
+        ticker = PeriodicTicker(lambda: None, 1.0)
+        ticker.fire_now()
+        assert ticker.runs == 1
+
+
+# -- ServiceIngress --------------------------------------------------------------
+
+
+class TestServiceIngress:
+    def test_requires_start(self):
+        ingress = ServiceIngress(make_service())
+
+        async def scenario():
+            with pytest.raises(IngressError):
+                await ingress.serve(0)
+
+        run(scenario())
+
+    def test_double_start_raises(self):
+        async def scenario():
+            async with ServiceIngress(make_service()) as ingress:
+                with pytest.raises(IngressError):
+                    await ingress.start()
+
+        run(scenario())
+
+    def test_out_of_range_query_raises(self):
+        async def scenario():
+            async with ServiceIngress(make_service()) as ingress:
+                with pytest.raises(IngressError):
+                    await ingress.serve(-1)
+                with pytest.raises(IngressError):
+                    await ingress.serve(9999)
+
+        run(scenario())
+
+    def test_decisions_match_sync_batch_path(self):
+        service = make_service()
+        sync_service = ServingService(make_matrix())
+        queries = [3, 0, 7, 3, 11, 5, 0]
+        expected = sync_service.serve_batch(np.asarray(queries, dtype=np.int64))
+
+        async def scenario():
+            config = IngressConfig(max_batch=3, max_wait_s=0.001)
+            async with ServiceIngress(service, config) as ingress:
+                return await asyncio.gather(*(ingress.serve(q) for q in queries))
+
+        results = run(scenario())
+        assert [r.query for r in results] == queries  # routed to the caller
+        assert [r.hint for r in results] == expected.hints.tolist()
+        assert [r.used_default for r in results] == expected.used_default.tolist()
+        np.testing.assert_allclose(
+            [r.expected_latency for r in results], expected.expected_latency
+        )
+        assert not any(r.shed for r in results)
+
+    def test_serve_many_equals_individual_serves(self):
+        queries = [1, 4, 2, 2, 9]
+
+        async def gather_one_by_one():
+            async with ServiceIngress(make_service()) as ingress:
+                return await asyncio.gather(*(ingress.serve(q) for q in queries))
+
+        async def bulk():
+            async with ServiceIngress(make_service()) as ingress:
+                return await ingress.serve_many(queries)
+
+        assert run(gather_one_by_one()) == run(bulk())
+
+    def test_burst_past_capacity_sheds_default_plans(self):
+        service = make_service()
+        config = IngressConfig(max_batch=4, max_wait_s=0.001, queue_capacity=8)
+
+        async def scenario():
+            async with ServiceIngress(service, config) as ingress:
+                answers = await ingress.serve_many([i % 12 for i in range(50)])
+                return answers, ingress.stats()
+
+        answers, stats = run(scenario())
+        shed = [a for a in answers if a.shed]
+        assert len(answers) == 50
+        assert len(shed) == 50 - 8  # everything past capacity, none errored
+        assert all(a.used_default and a.expected_latency == float("inf") for a in shed)
+        assert stats.shed == len(shed)
+        assert service.stats().shed == len(shed)
+        assert stats.max_queue_depth <= config.queue_capacity
+        assert stats.served == 50 - len(shed)
+
+    def test_stop_drains_pending_requests(self):
+        service = make_service()
+        # An hour-long SLO: only the shutdown drain can answer these.
+        config = IngressConfig(max_batch=100, max_wait_s=3600.0)
+
+        async def scenario():
+            ingress = ServiceIngress(service, config)
+            await ingress.start()
+            pending = asyncio.ensure_future(ingress.serve_many([1, 2, 3]))
+            await asyncio.sleep(0)  # let the submits land
+            assert ingress.stats().queue_depth == 3
+            await ingress.stop()
+            return await pending
+
+        results = run(scenario())
+        assert [r.query for r in results] == [1, 2, 3]
+        assert not any(r.shed for r in results)
+
+    def test_background_tickers_fire_and_report(self):
+        ticks = []
+
+        class FakeController:
+            def tick(self):
+                ticks.append(1)
+
+        service = make_service(
+            refresher=IncrementalALSRefresher(ALSConfig(rank=2, iterations=2))
+        )
+        config = IngressConfig(tick_interval_s=0.005, refresh_interval_s=0.005)
+
+        async def scenario():
+            async with ServiceIngress(
+                service, config, controller=FakeController()
+            ) as ingress:
+                assert all(t.running for t in ingress.tickers)
+                await asyncio.sleep(0.03)
+                stats = ingress.stats()
+            assert not any(t.running for t in ingress.tickers)
+            return stats
+
+        stats = run(scenario())
+        assert len(ticks) >= 2
+        assert stats.background_ticks["adaptation"] >= 2
+        assert set(stats.background_ticks) == {"adaptation", "refresh"}
+
+    def test_record_measured_skips_shed_and_validates_shape(self):
+        service = make_service()
+
+        async def scenario():
+            async with ServiceIngress(service) as ingress:
+                return await ingress.serve_many([0, 1, 2])
+
+        answers = run(scenario())
+        ingress = ServiceIngress(service)
+        with pytest.raises(IngressError):
+            ingress.record_measured(answers, [1.0])  # wrong shape
+        shed_only = [
+            IngressDecision(None, 0, 0, True, float("inf"), True)
+        ]
+        ingress.record_measured(shed_only, [1.0])  # no-op, no crash
+        ingress.record_measured(
+            answers, [a.expected_latency for a in answers]
+        )
+
+    def test_stats_roundtrip(self):
+        async def scenario():
+            async with ServiceIngress(make_service()) as ingress:
+                await ingress.serve_many([0, 1])
+                return ingress.stats()
+
+        stats = run(scenario())
+        assert isinstance(stats, IngressStats)
+        payload = stats.as_dict()
+        assert payload["submitted"] == 2 and payload["shed"] == 0
+        assert "mean_batch" in str(stats)
+
+
+# -- ClusterIngress --------------------------------------------------------------
+
+
+def make_cluster(tenants=("acme", "globex")):
+    matrix = make_matrix(n=20, k=5, seed=4)
+    cluster = ServingCluster(
+        n_shards=2,
+        n_hints=matrix.n_hints,
+        als_config=ALSConfig(rank=2, iterations=2, seed=0),
+    )
+    for tenant in tenants:
+        populate_cluster(cluster, tenant, matrix)
+    return cluster
+
+
+class TestClusterIngress:
+    def test_mixed_tenant_decisions_match_sync_path(self):
+        cluster = make_cluster()
+        sync_cluster = make_cluster()
+        arrivals = [("acme", 3), ("globex", 0), ("acme", 19), ("globex", 7)]
+        expected = sync_cluster.serve_mixed(arrivals)
+
+        async def scenario():
+            async with ClusterIngress(cluster) as ingress:
+                return await asyncio.gather(
+                    *(ingress.serve(t, q) for t, q in arrivals)
+                )
+
+        results = run(scenario())
+        assert [(r.tenant, r.query) for r in results] == arrivals
+        assert [r.hint for r in results] == expected.hints.tolist()
+        np.testing.assert_allclose(
+            [r.expected_latency for r in results], expected.expected_latency
+        )
+
+    def test_unknown_tenant_and_bad_query_raise(self):
+        async def scenario():
+            async with ClusterIngress(make_cluster()) as ingress:
+                with pytest.raises(ClusterError):
+                    await ingress.serve("ghost", 0)
+                with pytest.raises(IngressError):
+                    await ingress.serve("acme", 10_000)
+
+        run(scenario())
+
+    def test_shed_counts_reach_cluster_stats(self):
+        cluster = make_cluster()
+        config = IngressConfig(max_batch=4, max_wait_s=0.001, queue_capacity=4)
+
+        async def scenario():
+            async with ClusterIngress(cluster, config) as ingress:
+                return await ingress.serve_many(
+                    [("acme", i % 20) for i in range(30)]
+                )
+
+        answers = run(scenario())
+        shed = sum(1 for a in answers if a.shed)
+        assert shed == 30 - 4
+        assert cluster.stats().shed_decisions == shed
+        assert all(a.used_default for a in answers if a.shed)
+
+    def test_record_shed_rejects_negative(self):
+        with pytest.raises(ClusterError):
+            make_cluster().record_shed(-1)
+
+    def test_refresh_scheduler_ticks_in_background(self):
+        cluster = make_cluster()
+        config = IngressConfig(refresh_interval_s=0.005)
+
+        async def scenario():
+            async with ClusterIngress(cluster, config) as ingress:
+                await asyncio.sleep(0.03)
+                return ingress.stats()
+
+        stats = run(scenario())
+        assert stats.background_ticks["refresh-scheduler"] >= 2

@@ -124,6 +124,7 @@ class TestSuite:
             "explore_200_steps",
             "tcnn_predict_full",
             "serve_batch",
+            "ingress_serve",
             "adapt_drift",
         ]
 
