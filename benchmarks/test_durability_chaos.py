@@ -1,0 +1,371 @@
+"""Durability acceptance: crash-and-rejoin chaos over the serving cluster.
+
+Three pillars (the ISSUE 9 bar):
+
+* **Byte-identical rejoin** -- for *every* fault point the durability
+  layer can die at, a shard is crashed mid-drift-workload, the cluster
+  serves degraded while it is down, and after ``restart_shard`` the
+  cluster's decisions are byte-identical to an uninterrupted reference
+  cluster fed the same traffic (``identical_after_recovery == 1.0``);
+* **Outage invariants** -- during the outage every arrival is still
+  answered (the dead shard's rows degrade to the default plan), nothing
+  errors, and the cumulative never-worse-than-default guarantee holds
+  through the chaos scenarios;
+* **Bounded footprint** -- periodic checkpoints keep the on-disk journal
+  bounded over 1,000 feedback ticks even though the appended WAL volume
+  keeps growing, and journaling adds at most 1.3x to a serve+observe
+  tick.
+
+``CHAOS_SEED`` (env) reseeds the traffic so CI can sweep several seeds.
+Writes ``BENCH_durability.json``.
+"""
+
+import os
+import shutil
+import tempfile
+import time
+
+import numpy as np
+import pytest
+from _bench_utils import run_once, write_bench_json
+
+from repro.cluster import ServingCluster
+from repro.core.workload_matrix import WorkloadMatrix
+from repro.durability import (
+    FAULT_POINTS,
+    FaultFS,
+    FaultInjector,
+    ShardJournal,
+    matrix_to_jsonable,
+    recover_journal,
+)
+from repro.scenarios import (
+    ScenarioRunner,
+    kill_shard_mid_drift,
+    restart_during_flash_crowd,
+)
+from repro.serving import ServingService
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+
+N_ROWS = 36
+N_HINTS = 6
+RESULTS = {"chaos_seed": CHAOS_SEED}
+
+#: Fault points reached by a feedback append vs. by a checkpoint.
+APPEND_POINTS = tuple(p for p in FAULT_POINTS if p.startswith("wal.append"))
+CHECKPOINT_POINTS = tuple(p for p in FAULT_POINTS if p not in APPEND_POINTS)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _persist_results():
+    yield
+    path = write_bench_json("durability", RESULTS)
+    print(f"\nwrote {path}")
+
+
+def make_truth(seed):
+    rng = np.random.default_rng([seed, 97])
+    truth = rng.uniform(0.5, 20.0, size=(N_ROWS, N_HINTS))
+    truth[:, 0] = rng.uniform(8.0, 20.0, size=N_ROWS)  # default is mediocre
+    return truth
+
+
+def build_cluster(truth, durability_dir=None, fault_fs=None):
+    cluster = ServingCluster(
+        3,
+        N_HINTS,
+        durability_dir=durability_dir,
+        fault_fs=fault_fs,
+        journal_sync="always",  # reach the fsync fault points
+    )
+    names = [f"q{i}" for i in range(N_ROWS)]
+    cluster.add_tenant("web", names)
+    rows = np.arange(N_ROWS)
+    cluster.observe_batch("web", rows, np.zeros(N_ROWS, dtype=np.int64), truth[:, 0])
+    best = truth.argmin(axis=1)
+    cluster.observe_batch("web", rows, best, truth[rows, best])
+    return cluster
+
+
+def feedback_stream(truth, seed, ticks, size=12):
+    """Decision-independent feedback: the same cells whatever was served."""
+    rng = np.random.default_rng([seed, 131])
+    drift = truth.copy()
+    out = []
+    for tick in range(ticks):
+        if tick >= 2:  # the ground truth keeps drifting under the cluster
+            rows = rng.integers(0, N_ROWS, size=3)
+            drift[rows] *= rng.uniform(1.02, 1.15, size=(3, 1))
+        cells_q = rng.integers(0, N_ROWS, size=size)
+        cells_h = rng.integers(0, N_HINTS, size=size)
+        out.append((cells_q, cells_h, drift[cells_q, cells_h]))
+    return out
+
+
+def crash_at_every_fault_point():
+    """Kill a shard at each fault point; demand byte-identical rejoin."""
+    per_point = {}
+    stream = feedback_stream(make_truth(CHAOS_SEED), CHAOS_SEED, ticks=8)
+    truth = make_truth(CHAOS_SEED)
+    for point in FAULT_POINTS:
+        home = tempfile.mkdtemp(prefix=f"repro-chaos-")
+        try:
+            injector = FaultInjector()
+            subject = build_cluster(
+                truth, durability_dir=home, fault_fs=FaultFS(injector)
+            )
+            reference = build_cluster(truth)
+            for q, h, v in stream[:3]:
+                subject.observe_batch("web", q, h, v)
+                reference.observe_batch("web", q, h, v)
+
+            injector.arm(point, at=1, torn_fraction=0.4)
+            if point in CHECKPOINT_POINTS:
+                subject.checkpoint()  # dies inside the snapshot protocol
+            else:
+                q, h, v = stream[3]
+                subject.observe_batch("web", q, h, v)  # dies mid-append
+            reference_q, reference_h, reference_v = stream[3]
+            if point in CHECKPOINT_POINTS:
+                # The subject never saw tick 3's feedback yet; apply it
+                # now (it queues for the crashed shard, applies elsewhere).
+                subject.observe_batch("web", reference_q, reference_h, reference_v)
+            reference.observe_batch("web", reference_q, reference_h, reference_v)
+
+            crashed = [s for s, sh in subject.shards.items() if sh.crashed]
+            assert len(crashed) == 1, f"{point}: expected exactly one crash"
+            assert injector.fired == [point]
+
+            # Outage: every arrival is still answered; the dead shard's
+            # rows degrade to the default plan with no error raised.
+            during = subject.serve_all("web")
+            degraded = np.isinf(during.expected_latency)
+            assert during.batch_size == N_ROWS
+            assert degraded.any() and during.used_default[degraded].all()
+
+            for q, h, v in stream[4:6]:
+                subject.observe_batch("web", q, h, v)
+                reference.observe_batch("web", q, h, v)
+
+            state = subject.restart_shard(crashed[0])
+            for q, h, v in stream[6:]:
+                subject.observe_batch("web", q, h, v)
+                reference.observe_batch("web", q, h, v)
+
+            after = subject.serve_all("web")
+            want = reference.serve_all("web")
+            identical = (
+                np.array_equal(after.queries, want.queries)
+                and np.array_equal(after.hints, want.hints)
+                and np.array_equal(after.used_default, want.used_default)
+                and after.expected_latency.tobytes()
+                == want.expected_latency.tobytes()
+            )
+            stats = subject.stats()
+            per_point[point] = {
+                "identical": float(identical),
+                "crashed_shard": float(crashed[0]),
+                "degraded_decisions": float(stats.degraded_decisions),
+                "queued_feedback": float(stats.queued_feedback),
+                "replayed_feedback": float(stats.replayed_feedback),
+                "replayed_records": float(state.replayed_records),
+                "snapshot_lsn": float(state.snapshot_lsn),
+            }
+            subject.close()
+            reference.close()
+        finally:
+            shutil.rmtree(home, ignore_errors=True)
+    identical_after_recovery = float(
+        np.mean([row["identical"] for row in per_point.values()])
+    )
+    return {
+        "fault_points": float(len(per_point)),
+        "identical_after_recovery": identical_after_recovery,
+        "per_point": per_point,
+    }
+
+
+def test_crash_at_every_fault_point(benchmark):
+    result = run_once(benchmark, crash_at_every_fault_point)
+    RESULTS["fault_sweep"] = result
+    print(
+        f"\n=== Fault-point sweep (seed {CHAOS_SEED}) ===\n"
+        f"{int(result['fault_points'])} fault points, "
+        f"identical_after_recovery={result['identical_after_recovery']:.2f}"
+    )
+    for point, row in result["per_point"].items():
+        print(
+            f"  {point:<28} identical={row['identical']:.0f} "
+            f"queued={row['queued_feedback']:.0f} "
+            f"replayed_wal={row['replayed_records']:.0f}"
+        )
+    assert result["fault_points"] == len(FAULT_POINTS)
+    assert result["identical_after_recovery"] == 1.0
+
+
+def checkpoint_bounds_journal():
+    """1,000 feedback ticks with periodic checkpoints: bounded footprint."""
+    home = tempfile.mkdtemp(prefix="repro-growth-")
+    try:
+        rng = np.random.default_rng([CHAOS_SEED, 7])
+        journal = ShardJournal(home)
+        matrix = WorkloadMatrix(64, N_HINTS)
+        service = ServingService(matrix, journal=journal)
+        max_bytes = 0
+        for tick in range(1000):
+            q = rng.integers(0, 64, size=8)
+            h = rng.integers(0, N_HINTS, size=8)
+            service.observe_batch(q, h, rng.uniform(0.5, 20.0, size=8))
+            if (tick + 1) % 100 == 0:
+                journal.checkpoint(matrix_to_jsonable(matrix.to_dict()))
+            max_bytes = max(max_bytes, journal.on_disk_bytes())
+        appended = journal.appended_bytes
+        journal.crash()
+        _, state = recover_journal(home)
+        got, want = state.matrix.to_dict(), matrix.to_dict()
+        identical = float(
+            all(
+                np.array_equal(got[key], want[key])
+                for key in ("values", "observed", "censored", "timeouts")
+            )
+        )
+        return {
+            "ticks": 1000.0,
+            "appended_bytes": float(appended),
+            "max_on_disk_bytes": float(max_bytes),
+            "bound_ratio": appended / max_bytes,
+            "checkpoints": float(journal.checkpoints),
+            "recovered_identical": identical,
+        }
+    finally:
+        shutil.rmtree(home, ignore_errors=True)
+
+
+def test_checkpoint_bounds_journal_size(benchmark):
+    result = run_once(benchmark, checkpoint_bounds_journal)
+    RESULTS["growth"] = result
+    print(
+        f"\n=== Journal growth over {result['ticks']:.0f} ticks ===\n"
+        f"appended {result['appended_bytes']:,.0f} B total, "
+        f"peak on disk {result['max_on_disk_bytes']:,.0f} B "
+        f"({result['bound_ratio']:.1f}x bound, "
+        f"{result['checkpoints']:.0f} checkpoints)"
+    )
+    assert result["recovered_identical"] == 1.0
+    # Checkpoint truncation must keep the directory well below the total
+    # appended volume -- the log is bounded, not ever-growing.
+    assert result["bound_ratio"] >= 3.0
+
+
+def journal_overhead():
+    """Serve+observe tick cost, journaled vs. plain (median paired ratio)."""
+    n, k = 2000, 16
+    rng = np.random.default_rng([CHAOS_SEED, 19])
+    truth = rng.uniform(0.5, 20.0, size=(n, k))
+
+    def build(journal):
+        matrix = WorkloadMatrix(n, k)
+        rows = np.arange(n)
+        matrix.observe_batch(rows, np.zeros(n, dtype=np.int64), truth[:, 0])
+        return ServingService(matrix, journal=journal)
+
+    def block(service, tick_rng):
+        start = time.perf_counter()
+        for _ in range(40):
+            arrivals = tick_rng.integers(0, n, size=1024)
+            service.serve_batch(arrivals)
+            q = tick_rng.integers(0, n, size=64)
+            h = tick_rng.integers(0, k, size=64)
+            service.observe_batch(q, h, truth[q, h], refresh=False)
+        return time.perf_counter() - start
+
+    plain = build(None)
+    home = tempfile.mkdtemp(prefix="repro-overhead-")
+    try:
+        journaled = build(ShardJournal(home))
+        # Time the two services in back-to-back pairs (alternating order)
+        # and take the *median of paired ratios*: each pair sees the same
+        # machine weather, so drift in CPU budget cancels instead of
+        # landing on whichever side happened to run during a stall.
+        rng_p = np.random.default_rng([CHAOS_SEED, 3])
+        rng_j = np.random.default_rng([CHAOS_SEED, 3])
+        block(plain, rng_p)
+        block(journaled, rng_j)
+        plain_times = []
+        journaled_times = []
+        for i in range(8):
+            if i % 2 == 0:
+                p = block(plain, rng_p)
+                j = block(journaled, rng_j)
+            else:
+                j = block(journaled, rng_j)
+                p = block(plain, rng_p)
+            plain_times.append(p)
+            journaled_times.append(j)
+        pair_ratios = [j / p for p, j in zip(plain_times, journaled_times)]
+        plain_s = float(np.median(plain_times))
+        journaled_s = float(np.median(journaled_times))
+        ratio = float(np.median(pair_ratios))
+        appended = journaled.journal.appended_records
+        journaled.journal.close()
+    finally:
+        shutil.rmtree(home, ignore_errors=True)
+    return {
+        "plain_s": plain_s,
+        "journaled_s": journaled_s,
+        "overhead_ratio": ratio,
+        "journaled_records": float(appended),
+    }
+
+
+def test_journal_overhead_is_bounded(benchmark):
+    result = run_once(benchmark, journal_overhead)
+    RESULTS["overhead"] = result
+    print(
+        f"\n=== Journal overhead ===\n"
+        f"plain {result['plain_s'] * 1e3:.1f} ms vs journaled "
+        f"{result['journaled_s'] * 1e3:.1f} ms per 40-tick block "
+        f"-> {result['overhead_ratio']:.2f}x "
+        f"({result['journaled_records']:.0f} records appended)"
+    )
+    assert result["overhead_ratio"] <= 1.3
+
+
+def run_chaos_scenario(build):
+    spec = build(seed=CHAOS_SEED)
+    trace = ScenarioRunner(
+        spec, target="cluster", adaptive=True, n_shards=3
+    ).run()
+    summary = trace.summary()
+    summary["every_tick_served"] = float(
+        (trace.arrivals > 0).all() and np.isfinite(trace.served).all()
+    )
+    summary["never_worse_cumulative"] = float(
+        trace.served.sum() <= trace.default.sum() * 1.0 + 1e-9
+    )
+    if trace.adaptive_report is not None:
+        summary["responses"] = trace.adaptive_report.get("responses", 0.0)
+    return spec.name, summary
+
+
+def test_chaos_scenarios_hold_the_guarantee(benchmark):
+    def both():
+        return dict(
+            run_chaos_scenario(build)
+            for build in (kill_shard_mid_drift, restart_during_flash_crowd)
+        )
+
+    result = run_once(benchmark, both)
+    RESULTS["scenarios"] = result
+    print(f"\n=== Chaos scenarios (seed {CHAOS_SEED}) ===")
+    for name, summary in result.items():
+        print(
+            f"  {name:<28} improvement={summary['mean_improvement']:.1%} "
+            f"served_ok={summary['every_tick_served']:.0f} "
+            f"never_worse={summary['never_worse_cumulative']:.0f}"
+        )
+    for name, summary in result.items():
+        assert summary["every_tick_served"] == 1.0, name
+        assert summary["never_worse_cumulative"] == 1.0, name
+        assert summary["mean_improvement"] > 0.0, name

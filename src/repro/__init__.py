@@ -14,6 +14,8 @@ downstream user needs most:
 * the sharded multi-tenant serving cluster (:mod:`repro.cluster`),
 * the drift-aware adaptation controller (:mod:`repro.adaptive`),
 * the declarative traffic/scenario engine (:mod:`repro.scenarios`),
+* durable shard state -- WAL, snapshots, crash recovery, fault
+  injection (:mod:`repro.durability`),
 * the simulated DBMS substrate (:mod:`repro.db`),
 * the numpy TCNN substrate (:mod:`repro.nn`),
 * the experiment harness regenerating every table and figure
@@ -76,6 +78,13 @@ from .cluster import (
     ServingCluster,
 )
 from .db import HintSet, all_hint_sets, default_hint_set
+from .durability import (
+    FaultInjector,
+    ShardJournal,
+    WriteAheadLog,
+    recover_journal,
+    recover_service,
+)
 from .errors import ReproError
 from .ingress import (
     ClusterIngress,
@@ -161,6 +170,11 @@ __all__ = [
     "HintSet",
     "all_hint_sets",
     "default_hint_set",
+    "FaultInjector",
+    "ShardJournal",
+    "WriteAheadLog",
+    "recover_journal",
+    "recover_service",
     "ReproError",
     "ClusterShard",
     "ClusterStats",

@@ -141,6 +141,13 @@ class ClusterAdaptationController:
         responded: List[int] = []
         for shard_id in sorted(self._controllers):
             controller = self._controllers[shard_id]
+            shard = self.cluster.shards.get(shard_id)
+            if shard is None or shard.service is not controller.service:
+                # Stale controller: the shard crashed (service severed) or
+                # restarted under a new service object.  Never tick it --
+                # it would mutate an orphaned matrix.  ``_controller_for``
+                # rebuilds on the next recorded batch.
+                continue
             if controller.tick():
                 responded.append(shard_id)
                 self.cluster.scheduler.escalate(shard_id)
@@ -151,6 +158,19 @@ class ClusterAdaptationController:
         )
         self.cluster.scheduler.set_budget(max(self._base_budget, busy))
         return responded
+
+    def restore_backlog(self, shard_id: int, rows) -> None:
+        """Re-seed a restarted shard's recovery backlog from its journal.
+
+        Call after :meth:`ServingCluster.restart_shard` with the
+        ``backlog`` of the returned
+        :class:`~repro.durability.RecoveredState`: the rows a response had
+        invalidated before the crash rejoin the re-verification queue, so
+        a crash mid-drift never strands rows on the default plan.
+        """
+        controller = self._controller_for(int(shard_id))
+        if controller is not None:
+            controller.seed_backlog(rows)
 
     def notify_topology_change(self) -> None:
         """Drop shard controllers and window epochs after a rebalance.

@@ -197,6 +197,23 @@ class AdaptationController:
         if rows.size:
             self._backlog = np.union1d(self._backlog, rows)
 
+    def seed_backlog(self, rows) -> None:
+        """Re-seed the recovery backlog (crash recovery hands it back here).
+
+        The rows rejoin the re-verification queue exactly as if the
+        response that created them had just run; the next quiet tick
+        resumes the budgeted recovery passes.
+        """
+        self._push_backlog(np.asarray(rows, dtype=np.int64))
+        self._prune_backlog()
+        self.stats.backlog_rows = int(self._backlog.size)
+
+    def _journal_backlog(self) -> None:
+        """Write the owed backlog ahead, so a crash mid-drift recovers it."""
+        journal = getattr(self.service, "journal", None)
+        if journal is not None:
+            journal.log_adapt_backlog(self._backlog)
+
     def _prune_backlog(self) -> None:
         """Drop rows that have been re-verified.
 
@@ -307,6 +324,7 @@ class AdaptationController:
                 self.stats.refreshes += 1
         self.service.cache.refresh()
         self._prune_backlog()
+        self._journal_backlog()
         self.stats.backlog_rows = int(self._backlog.size)
         return (explored + int(newly_anchored.size)) > 0
 
@@ -387,6 +405,7 @@ class AdaptationController:
         # they carry enough fresh observations to serve a verified plan.
         self._push_backlog(anchor)
         self._prune_backlog()
+        self._journal_backlog()
         self.stats.backlog_rows = int(self._backlog.size)
 
         self.detector.reset(self.key)

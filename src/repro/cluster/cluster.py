@@ -26,6 +26,7 @@ row-local.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -34,7 +35,10 @@ import numpy as np
 
 from ..config import ALSConfig
 from ..core.workload_matrix import WorkloadMatrix
-from ..errors import ClusterError, ReproError
+from ..durability.faults import FaultFS
+from ..durability.journal import ShardJournal
+from ..durability.recovery import RecoveredState
+from ..errors import ClusterError, InjectedCrash, ReproError
 from ..serving.batch_cache import BatchDecisions
 from .failover import HealthBoard, degraded_decisions
 from .router import RendezvousRouter, routing_key, split_batch
@@ -84,6 +88,17 @@ class ServingCluster:
         Consecutive shard serve failures before the breaker trips it DOWN.
     clock:
         Injectable time source shared by every shard's telemetry.
+    durability_dir:
+        When set, every shard gets a write-ahead journal under
+        ``<durability_dir>/shard-<id>`` and the crash lifecycle
+        (:meth:`kill_shard` / :meth:`restart_shard` / :meth:`checkpoint`)
+        becomes available.  Without it the cluster is process-local, as
+        before.
+    fault_fs:
+        Optional :class:`~repro.durability.FaultFS` shared by every
+        shard's journal (the chaos-test seam).
+    journal_sync:
+        WAL sync policy for every shard journal (``"os"`` or ``"always"``).
     """
 
     def __init__(
@@ -97,6 +112,9 @@ class ServingCluster:
         refresh_budget: int = 1,
         failure_threshold: int = 3,
         clock=time.perf_counter,
+        durability_dir: Optional[str] = None,
+        fault_fs: Optional[FaultFS] = None,
+        journal_sync: str = "os",
     ) -> None:
         if n_shards < 1:
             raise ClusterError(f"cluster needs at least one shard, got {n_shards}")
@@ -106,6 +124,9 @@ class ServingCluster:
         self._als_config = als_config or ALSConfig()
         self._refresh_iterations = int(refresh_iterations)
         self._clock = clock
+        self.durability_dir = durability_dir
+        self._fault_fs = fault_fs
+        self._journal_sync = journal_sync
         self.router = RendezvousRouter()
         self.health = HealthBoard(failure_threshold=failure_threshold)
         self.scheduler = RefreshScheduler(
@@ -119,6 +140,13 @@ class ServingCluster:
         self._degraded_decisions = 0
         self._shed_decisions = 0
         self._rebalanced_rows = 0
+        self._crashes = 0
+        self._restarts = 0
+        self._queued_feedback = 0
+        self._replayed_feedback = 0
+        # Feedback addressed to a crashed shard waits here (per shard id)
+        # and replays on restart; entries are ("observe"|"censor", args).
+        self._outage_queue: Dict[int, List[Tuple[str, tuple]]] = {}
         for _ in range(n_shards):
             self._create_shard()
 
@@ -138,7 +166,21 @@ class ServingCluster:
         """Registered tenant ids."""
         return list(self._tenants)
 
+    def _shard_dir(self, shard_id: int) -> str:
+        if self.durability_dir is None:
+            raise ClusterError(
+                "this cluster has no durability_dir; crash/restart needs one"
+            )
+        return os.path.join(self.durability_dir, f"shard-{shard_id}")
+
     def _create_shard(self) -> ClusterShard:
+        journal = None
+        if self.durability_dir is not None:
+            journal = ShardJournal(
+                self._shard_dir(self._next_shard_id),
+                fs=self._fault_fs,
+                sync=self._journal_sync,
+            )
         shard = ClusterShard(
             shard_id=self._next_shard_id,
             n_hints=self.n_hints,
@@ -147,6 +189,7 @@ class ServingCluster:
             als_config=self._als_config,
             refresh_iterations=self._refresh_iterations,
             clock=self._clock,
+            journal=journal,
         )
         self._next_shard_id += 1
         self.shards[shard.shard_id] = shard
@@ -161,7 +204,14 @@ class ServingCluster:
         Rendezvous hashing guarantees every row either stays put or moves
         to the *new* shard; each migrated row carries its full observation
         state, so decisions before and after rebalancing are identical.
+        Rebalancing requires every shard up: rows on a crashed shard are
+        unreachable until it restarts.
         """
+        down = sorted(sid for sid, shard in self.shards.items() if shard.crashed)
+        if down:
+            raise ClusterError(
+                f"cannot rebalance while shards {down} are down; restart them first"
+            )
         new_id = self._next_shard_id
         all_keys = [
             directory.key(q)
@@ -381,9 +431,19 @@ class ServingCluster:
                     "observe_batch: latencies must be finite and >= 0"
                 )
         for sid, positions in split_batch(shard_ids):
-            self.shards[sid].observe_local(
-                local[positions], hints[positions], latencies[positions]
-            )
+            sid = int(sid)
+            args = (local[positions], hints[positions], latencies[positions])
+            if self.shards[sid].crashed:
+                self._queue_feedback(sid, "observe", args)
+                continue
+            try:
+                self.shards[sid].observe_local(*args)
+            except InjectedCrash:
+                # The record never applied (write-ahead ordering), so the
+                # whole sub-batch is queued; matrix mutations are
+                # idempotent, so any prefix the WAL did capture converges.
+                self._handle_crash(sid)
+                self._queue_feedback(sid, "observe", args)
 
     def observe_censored(
         self, tenant: str, query: int, hint: int, lower_bound: float
@@ -394,10 +454,16 @@ class ServingCluster:
             raise ClusterError(
                 f"query index {query} out of range for tenant {tenant!r}"
             )
-        shard = self.shards[int(directory.shard_of[query])]
-        shard.observe_censored_local(
-            int(directory.local_row[query]), hint, lower_bound
-        )
+        sid = int(directory.shard_of[query])
+        args = (int(directory.local_row[query]), hint, lower_bound)
+        if self.shards[sid].crashed:
+            self._queue_feedback(sid, "censor", args)
+            return
+        try:
+            self.shards[sid].observe_censored_local(*args)
+        except InjectedCrash:
+            self._handle_crash(sid)
+            self._queue_feedback(sid, "censor", args)
 
     # -- background refresh ---------------------------------------------------------
     def tick(self) -> List[int]:
@@ -428,6 +494,104 @@ class ServingCluster:
     def mark_up(self, shard_id: int) -> None:
         """Restore a shard to verified serving."""
         self.health.mark_up(shard_id)
+
+    # -- crash-and-rejoin lifecycle -----------------------------------------------------
+    def _shard(self, shard_id: int) -> ClusterShard:
+        try:
+            return self.shards[shard_id]
+        except KeyError:
+            raise ClusterError(f"unknown shard {shard_id}") from None
+
+    def _queue_feedback(self, shard_id: int, kind: str, args: tuple) -> None:
+        self._outage_queue.setdefault(shard_id, []).append((kind, args))
+        self._queued_feedback += (
+            int(np.asarray(args[0]).size) if kind == "observe" else 1
+        )
+
+    def _handle_crash(self, shard_id: int) -> None:
+        """Turn an :class:`InjectedCrash` (or operator kill) into an outage."""
+        shard = self._shard(shard_id)
+        if not shard.crashed:
+            shard.crash()
+        self.health.mark_down(shard_id)
+        self._outage_queue.setdefault(shard_id, [])
+        self._crashes += 1
+
+    def kill_shard(self, shard_id: int) -> None:
+        """Crash a shard: in-memory state is gone, its rows degrade to
+        default plans, and feedback for them queues until
+        :meth:`restart_shard` replays it.  Requires a ``durability_dir``
+        (without one the state would be unrecoverable)."""
+        self._shard_dir(shard_id)  # raises without durability
+        if self._shard(shard_id).crashed:
+            raise ClusterError(f"shard {shard_id} is already down")
+        self._handle_crash(shard_id)
+
+    def restart_shard(self, shard_id: int) -> RecoveredState:
+        """Recover a crashed shard from its journal and rejoin it.
+
+        Snapshot + WAL replay rebuild the matrix byte-identically, the
+        recovered shard takes over its old id in the router, health board,
+        and refresh scheduler, and every feedback batch queued during the
+        outage is applied (and journaled) in arrival order.  Returns the
+        :class:`~repro.durability.RecoveredState`, whose ``backlog`` the
+        owner should hand to the adaptation layer
+        (:meth:`ClusterAdaptationController.restore_backlog`).
+        """
+        old = self._shard(shard_id)
+        if not old.crashed:
+            raise ClusterError(f"shard {shard_id} is not down; kill it first")
+        shard = ClusterShard.recover(
+            self._shard_dir(shard_id),
+            shard_id=shard_id,
+            n_hints=self.n_hints,
+            default_hint=self.default_hint,
+            regression_margin=self.regression_margin,
+            als_config=self._als_config,
+            refresh_iterations=self._refresh_iterations,
+            clock=self._clock,
+            fs=self._fault_fs,
+            sync=self._journal_sync,
+        )
+        self.shards[shard_id] = shard
+        self.scheduler.replace(shard)
+        self.health.mark_up(shard_id)
+        for kind, args in self._outage_queue.pop(shard_id, []):
+            if kind == "observe":
+                shard.observe_local(*args)
+                self._replayed_feedback += int(np.asarray(args[0]).size)
+            else:
+                shard.observe_censored_local(*args)
+                self._replayed_feedback += 1
+        self._restarts += 1
+        assert shard.recovered is not None
+        return shard.recovered
+
+    def checkpoint(self, shard_id: Optional[int] = None) -> List[int]:
+        """Snapshot + WAL-truncate shards (one, or every live journaled one).
+
+        A crash injected mid-checkpoint downs that shard (supervision
+        mirrors the feedback path) without failing the sweep.  Returns the
+        ids that completed a checkpoint.
+        """
+        targets = [shard_id] if shard_id is not None else sorted(self.shards)
+        done: List[int] = []
+        for sid in targets:
+            shard = self._shard(sid)
+            if shard.journal is None or shard.crashed:
+                continue
+            try:
+                shard.checkpoint()
+                done.append(sid)
+            except InjectedCrash:
+                self._handle_crash(sid)
+        return done
+
+    def close(self) -> None:
+        """Clean shutdown: final checkpoint and journal release per shard."""
+        for shard in self.shards.values():
+            if not shard.crashed:
+                shard.close()
 
     # -- introspection -----------------------------------------------------------------
     def export_tenant_matrix(self, tenant: str) -> WorkloadMatrix:
@@ -486,6 +650,10 @@ class ServingCluster:
             rebalanced_rows=self._rebalanced_rows,
             scheduler_ticks=self.scheduler.ticks,
             scheduler_refreshes=self.scheduler.refreshes,
+            crashes=self._crashes,
+            restarts=self._restarts,
+            queued_feedback=self._queued_feedback,
+            replayed_feedback=self._replayed_feedback,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -50,6 +50,17 @@ class RefreshScheduler:
         self._shards[shard.shard_id] = shard
         self._ring.append(shard.shard_id)
 
+    def replace(self, shard: ClusterShard) -> None:
+        """Swap in a recovered shard object under an existing id.
+
+        Ring position, cursor, and any pending escalation are preserved --
+        a restarted shard keeps exactly the schedule slot of its previous
+        incarnation.
+        """
+        if shard.shard_id not in self._shards:
+            raise ClusterError(f"cannot replace unscheduled shard {shard.shard_id}")
+        self._shards[shard.shard_id] = shard
+
     def set_budget(self, budget_per_tick: int) -> None:
         """Reallocate the per-tick refresh budget (adaptation escalation)."""
         if budget_per_tick < 1:

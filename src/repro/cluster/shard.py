@@ -24,6 +24,9 @@ import numpy as np
 
 from ..config import ALSConfig
 from ..core.workload_matrix import WorkloadMatrix
+from ..durability.journal import ShardJournal
+from ..durability.recovery import RecoveredState, recover_journal
+from ..durability.snapshot import matrix_to_jsonable
 from ..errors import ClusterError
 from ..serving.batch_cache import BatchDecisions
 from ..serving.refresh import IncrementalALSRefresher
@@ -36,7 +39,9 @@ class ClusterShard:
 
     Parameters mirror :class:`ServingService`; ``clock`` is injectable so
     tests (and the deterministic parallel-throughput model in the cluster
-    benchmark) can fake time.
+    benchmark) can fake time.  With a ``journal`` attached every matrix
+    mutation is written ahead to disk, :meth:`checkpoint` bounds the log,
+    and :meth:`recover` rebuilds the shard after :meth:`crash`.
     """
 
     def __init__(
@@ -48,6 +53,7 @@ class ClusterShard:
         als_config: Optional[ALSConfig] = None,
         refresh_iterations: int = 3,
         clock=time.perf_counter,
+        journal: Optional[ShardJournal] = None,
     ) -> None:
         if n_hints < 1:
             raise ClusterError(f"shard needs a positive hint count, got {n_hints}")
@@ -63,6 +69,9 @@ class ClusterShard:
             als_config or ALSConfig(), refresh_iterations=refresh_iterations
         )
         self._clock = clock
+        self.journal = journal
+        self.crashed = False
+        self.recovered: Optional[RecoveredState] = None
         self.matrix: Optional[WorkloadMatrix] = None
         self.service: Optional[ServingService] = None
         self._rows: Dict[str, int] = {}
@@ -119,7 +128,15 @@ class ClusterShard:
                 )
         if not names:
             return []
+        if self.crashed:
+            raise ClusterError(
+                f"shard {self.shard_id} has crashed; restart it before adding rows"
+            )
         if self.matrix is None:
+            if self.journal is not None:
+                # The matrix does not exist yet, so the write-ahead record
+                # is logged here instead of by the matrix hook.
+                self.journal.log_import(matrix_to_jsonable(payload))
             self.matrix = WorkloadMatrix.from_dict(
                 {**payload, "hint_names": [f"h{j}" for j in range(self.n_hints)]}
             )
@@ -130,6 +147,7 @@ class ClusterShard:
                 refresher=self.refresher,
                 clock=self._clock,
                 recorder=self._recorder,
+                journal=self.journal,
             )
             indices = list(range(len(names)))
         else:
@@ -152,6 +170,10 @@ class ClusterShard:
         indices = [self.local_row(k) for k in keys]
         if len(indices) == self.n_rows:
             # The matrix cannot become empty; retire the whole serving stack.
+            if self.journal is not None:
+                self.journal.log_retire()
+            if self.matrix is not None:
+                self.matrix.journal = None
             self.matrix = None
             self.service = None
             self._rows.clear()
@@ -163,6 +185,8 @@ class ClusterShard:
     # -- serving (called by the cluster with local row indices) ----------------
     def serve_local(self, local_queries: np.ndarray) -> BatchDecisions:
         """Answer a sub-batch of locally indexed arrivals."""
+        if self.crashed:
+            raise ClusterError(f"shard {self.shard_id} has crashed")
         if self.service is None:
             raise ClusterError(f"shard {self.shard_id} owns no rows yet")
         return self.service.serve_batch(local_queries)
@@ -174,6 +198,8 @@ class ClusterShard:
         background scheduler picks this shard (:meth:`refresh`), so a serve
         batch can never be stuck behind a recompute.
         """
+        if self.crashed:
+            raise ClusterError(f"shard {self.shard_id} has crashed")
         if self.service is None:
             raise ClusterError(f"shard {self.shard_id} owns no rows yet")
         self.service.observe_batch(local_queries, hints, latencies, refresh=False)
@@ -182,6 +208,8 @@ class ClusterShard:
         self, local_query: int, hint: int, lower_bound: float
     ) -> None:
         """Record a timed-out execution for a locally indexed row."""
+        if self.crashed:
+            raise ClusterError(f"shard {self.shard_id} has crashed")
         if self.matrix is None:
             raise ClusterError(f"shard {self.shard_id} owns no rows yet")
         self.matrix.observe_censored(local_query, hint, lower_bound)
@@ -201,6 +229,98 @@ class ClusterShard:
         ran = self.service.refresh_now()
         self._refreshed_version = self.matrix.version
         return ran
+
+    # -- durability lifecycle ---------------------------------------------------
+    def checkpoint(self) -> int:
+        """Snapshot the matrix and truncate the WAL; returns the covered LSN."""
+        if self.journal is None:
+            raise ClusterError(f"shard {self.shard_id} has no journal to checkpoint")
+        if self.crashed:
+            raise ClusterError(f"shard {self.shard_id} has crashed")
+        state = None
+        if self.matrix is not None:
+            state = matrix_to_jsonable(self.matrix.to_dict())
+        return self.journal.checkpoint(state)
+
+    def close(self) -> None:
+        """Clean shutdown: final checkpoint, then release the journal."""
+        if self.journal is not None and not self.crashed:
+            self.checkpoint()
+            self.journal.close()
+
+    def crash(self) -> None:
+        """Simulated process death: sever all in-memory serving state.
+
+        The journal's file handles are dropped as-is (everything appended
+        is already with the kernel), the matrix and service vanish, and
+        only the cluster-side bookkeeping (``_rows``, telemetry) survives
+        -- the cluster needs it to keep routing and queueing during the
+        outage.  :meth:`recover` is the only way back.
+        """
+        if self.crashed:
+            raise ClusterError(f"shard {self.shard_id} has already crashed")
+        if self.matrix is not None:
+            self.matrix.journal = None
+        if self.journal is not None:
+            self.journal.crash()
+        self.matrix = None
+        self.service = None
+        self._refreshed_version = None
+        self.crashed = True
+
+    @classmethod
+    def recover(
+        cls,
+        directory: str,
+        shard_id: int,
+        n_hints: int,
+        default_hint: int = 0,
+        regression_margin: float = 1.0,
+        als_config: Optional[ALSConfig] = None,
+        refresh_iterations: int = 3,
+        clock=time.perf_counter,
+        fs=None,
+        sync: str = "os",
+    ) -> "ClusterShard":
+        """Rebuild a shard from its journal directory after a crash.
+
+        Replays snapshot + WAL into a fresh matrix/service and resumes
+        journaling where the log left off.  ``shard.recovered`` carries
+        the replay accounting (including the adaptation backlog the owner
+        should re-seed).
+        """
+        journal, state = recover_journal(directory, fs=fs, sync=sync, clock=clock)
+        shard = cls(
+            shard_id=shard_id,
+            n_hints=n_hints,
+            default_hint=default_hint,
+            regression_margin=regression_margin,
+            als_config=als_config,
+            refresh_iterations=refresh_iterations,
+            clock=clock,
+            journal=journal,
+        )
+        if state.matrix is not None:
+            if state.matrix.n_hints != shard.n_hints:
+                raise ClusterError(
+                    f"journal at {directory} holds {state.matrix.n_hints}-hint rows, "
+                    f"shard expects {n_hints}"
+                )
+            shard.matrix = state.matrix
+            shard.service = ServingService(
+                shard.matrix,
+                default_hint=shard.default_hint,
+                regression_margin=shard.regression_margin,
+                refresher=shard.refresher,
+                clock=clock,
+                recorder=shard._recorder,
+                journal=journal,
+            )
+            shard._rows = {
+                name: index for index, name in enumerate(shard.matrix.query_names)
+            }
+        shard.recovered = state
+        return shard
 
     # -- telemetry -------------------------------------------------------------
     def stats(self) -> ServingStats:

@@ -53,6 +53,12 @@ class ClusterStats:
         Rows migrated between shards by topology changes so far.
     scheduler_ticks / scheduler_refreshes:
         Background refresh activity.
+    crashes / restarts:
+        Shard processes lost (operator kill or injected fault) and shards
+        recovered from their journals.
+    queued_feedback / replayed_feedback:
+        Observations addressed to a crashed shard that waited in the
+        outage queue, and how many of them have been applied by restarts.
     """
 
     n_shards: int
@@ -68,6 +74,10 @@ class ClusterStats:
     scheduler_ticks: int
     scheduler_refreshes: int
     shed_decisions: int = 0
+    crashes: int = 0
+    restarts: int = 0
+    queued_feedback: int = 0
+    replayed_feedback: int = 0
 
     def as_dict(self) -> Dict[str, Union[int, float, Dict]]:
         """Plain nested dictionary for dashboards and benchmark JSON."""
@@ -87,6 +97,10 @@ class ClusterStats:
             "rebalanced_rows": self.rebalanced_rows,
             "scheduler_ticks": self.scheduler_ticks,
             "scheduler_refreshes": self.scheduler_refreshes,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "queued_feedback": self.queued_feedback,
+            "replayed_feedback": self.replayed_feedback,
         }
 
     def __str__(self) -> str:

@@ -44,6 +44,11 @@ class WorkloadMatrix:
         self._version = 0
         self.query_names = self._validate_names(query_names, n_queries, "query")
         self.hint_names = self._validate_names(hint_names, n_hints, "hint")
+        #: optional write-ahead journal (duck-typed ShardJournal).  Every
+        #: mutator logs *before* it mutates, after validation; the hook
+        #: lives here rather than on the service because re-exploration
+        #: and migration mutate the matrix directly.
+        self.journal = None
 
     @staticmethod
     def _validate_names(names: Optional[Sequence[str]], expected: int, kind: str) -> List[str]:
@@ -90,6 +95,8 @@ class WorkloadMatrix:
             raise MatrixError(
                 f"latency must be finite and >= 0, got {latency} at ({query}, {hint})"
             )
+        if self.journal is not None:
+            self.journal.log_observe([query], [hint], [latency])
         self._values[query, hint] = float(latency)
         self._observed[query, hint] = True
         self._censored[query, hint] = False
@@ -119,6 +126,8 @@ class WorkloadMatrix:
             raise MatrixError("observe_batch: hint index out of range")
         if not np.all(np.isfinite(latencies)) or np.any(latencies < 0):
             raise MatrixError("observe_batch: latencies must be finite and >= 0")
+        if self.journal is not None:
+            self.journal.log_observe(queries, hints, latencies)
         self._values[queries, hints] = latencies
         self._observed[queries, hints] = True
         self._censored[queries, hints] = False
@@ -135,6 +144,8 @@ class WorkloadMatrix:
         if self._observed[query, hint]:
             # A completed observation is strictly more informative; keep it.
             return
+        if self.journal is not None:
+            self.journal.log_censor(query, hint, lower_bound)
         # Keep only the tightest (largest) lower bound seen so far.
         self._timeouts[query, hint] = max(self._timeouts[query, hint], float(lower_bound))
         self._censored[query, hint] = True
@@ -286,6 +297,8 @@ class WorkloadMatrix:
     # -- growth (workload shift) --------------------------------------------------
     def add_query(self, name: Optional[str] = None) -> int:
         """Append a new, fully unobserved row and return its index."""
+        if self.journal is not None:
+            self.journal.log_add_query(name)
         index = self.n_queries
         self._values = np.vstack([self._values, np.full((1, self.n_hints), np.inf)])
         self._observed = np.vstack([self._observed, np.zeros((1, self.n_hints), bool)])
@@ -345,6 +358,16 @@ class WorkloadMatrix:
             )
         if values.shape[0] == 0:
             return []
+        if self.journal is not None:
+            self.journal.log_import(
+                {
+                    "values": values.tolist(),
+                    "observed": observed.tolist(),
+                    "censored": censored.tolist(),
+                    "timeouts": timeouts.tolist(),
+                    "query_names": names,
+                }
+            )
         first = self.n_queries
         self._values = np.vstack([self._values, values])
         self._observed = np.vstack([self._observed, observed])
@@ -372,6 +395,8 @@ class WorkloadMatrix:
             raise MatrixError(
                 "remove_queries cannot drop every row; retire the matrix instead"
             )
+        if self.journal is not None:
+            self.journal.log_remove(indices.tolist())
         self._values = self._values[keep]
         self._observed = self._observed[keep]
         self._censored = self._censored[keep]
@@ -384,11 +409,14 @@ class WorkloadMatrix:
     def invalidate(self, queries: Optional[Iterable[int]] = None) -> None:
         """Forget observations (all queries, or a subset) after a data shift."""
         if queries is None:
-            targets = range(self.n_queries)
+            targets = None
         else:
             targets = list(queries)
-        for q in targets:
-            self._check_indices(q, 0)
+            for q in targets:
+                self._check_indices(q, 0)
+        if self.journal is not None:
+            self.journal.log_invalidate(targets)
+        for q in targets if targets is not None else range(self.n_queries):
             self._values[q, :] = np.inf
             self._observed[q, :] = False
             self._censored[q, :] = False

@@ -1,0 +1,37 @@
+"""Durable shard state: write-ahead log, snapshots, crash recovery.
+
+See ``docs/durability.md`` for the record format, the snapshot install
+protocol, the recovery invariants, and the fault-point map.
+"""
+
+from .faults import FAULT_POINTS, FaultClock, FaultFS, FaultInjector, FaultPlan
+from .journal import ShardJournal, attach_journal
+from .recovery import RecoveredState, recover_journal, recover_service
+from .snapshot import (
+    load_snapshot,
+    matrix_from_jsonable,
+    matrix_to_jsonable,
+    write_snapshot,
+)
+from .wal import RECORD_KINDS, WalRecord, WriteAheadLog, encode_record
+
+__all__ = [
+    "FAULT_POINTS",
+    "FaultClock",
+    "FaultFS",
+    "FaultInjector",
+    "FaultPlan",
+    "RECORD_KINDS",
+    "RecoveredState",
+    "ShardJournal",
+    "WalRecord",
+    "WriteAheadLog",
+    "attach_journal",
+    "encode_record",
+    "load_snapshot",
+    "matrix_from_jsonable",
+    "matrix_to_jsonable",
+    "recover_journal",
+    "recover_service",
+    "write_snapshot",
+]

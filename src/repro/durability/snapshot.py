@@ -1,0 +1,132 @@
+"""Point-in-time shard snapshots with atomic installation.
+
+A snapshot captures everything a shard needs to serve again -- the
+:class:`~repro.core.workload_matrix.WorkloadMatrix` contents (values,
+observed/censored masks, timeouts, names) plus the adaptation backlog --
+tagged with the LSN of the last journal record it covers.  The plan-cache
+snapshot and serving stats are *derived* state: the cache is version-gated
+and rebuilds itself from the matrix on the first post-recovery serve, so
+persisting the matrix persists the decisions.
+
+Install protocol (crash-safe at every step)::
+
+    write snapshot.tmp  ->  fsync  ->  os.replace(tmp, snapshot.bin)
+
+``os.replace`` is atomic on POSIX, so recovery only ever sees either the
+old snapshot or the new one -- never a half-written file.  A leftover
+``snapshot.tmp`` from a crash mid-write is ignored and overwritten by the
+next checkpoint.  The snapshot file reuses the WAL's length+CRC framing;
+since it is installed atomically, a framing failure here is always real
+corruption and raises :class:`~repro.errors.WalCorruption`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import WalCorruption
+from .faults import FaultFS
+
+_HEADER = struct.Struct("<II")
+
+SNAPSHOT_NAME = "snapshot.bin"
+SNAPSHOT_TMP = "snapshot.tmp"
+
+
+# -- matrix state <-> JSON-able ---------------------------------------------------------
+def matrix_to_jsonable(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Convert a ``WorkloadMatrix.to_dict()`` payload to pure JSON types.
+
+    ``inf`` survives: Python's ``json`` emits ``Infinity`` and parses it
+    back, and float ``repr`` round-trips every finite double exactly.
+    """
+    out: Dict[str, Any] = {}
+    for key, value in payload.items():
+        if isinstance(value, np.ndarray):
+            out[key] = value.tolist()
+        elif isinstance(value, (list, tuple)):
+            out[key] = list(value)
+        else:
+            out[key] = value
+    return out
+
+
+def matrix_from_jsonable(obj: Dict[str, Any]) -> Dict[str, Any]:
+    """Inverse of :func:`matrix_to_jsonable` (numpy arrays restored)."""
+    out: Dict[str, Any] = {}
+    for key, value in obj.items():
+        if key == "values":
+            out[key] = np.asarray(value, dtype=float)
+        elif key in ("observed", "censored"):
+            out[key] = np.asarray(value, dtype=bool)
+        elif key == "timeouts":
+            out[key] = np.asarray(value, dtype=float)
+        else:
+            out[key] = value
+    return out
+
+
+# -- write / load -----------------------------------------------------------------------------
+def write_snapshot(
+    directory: str,
+    state: Dict[str, Any],
+    lsn: int,
+    fs: Optional[FaultFS] = None,
+) -> str:
+    """Atomically install ``state`` as the shard snapshot covering ``lsn``."""
+    fs = fs if fs is not None else FaultFS()
+    body = json.dumps(
+        {"lsn": int(lsn), "schema": 1, "state": state},
+        separators=(",", ":"),
+        sort_keys=True,
+    ).encode("utf-8")
+    framed = _HEADER.pack(len(body), zlib.crc32(body)) + body
+    tmp = os.path.join(directory, SNAPSHOT_TMP)
+    final = os.path.join(directory, SNAPSHOT_NAME)
+    handle = open(tmp, "wb", buffering=0)
+    try:
+        fs.write(handle, framed, "snapshot")
+        fs.fsync(handle, "snapshot")
+    finally:
+        handle.close()
+    fs.replace(tmp, final, "snapshot")
+    return final
+
+
+def load_snapshot(directory: str) -> Optional[Tuple[Dict[str, Any], int]]:
+    """Read the installed snapshot; ``None`` when no checkpoint ever ran.
+
+    Raises :class:`~repro.errors.WalCorruption` on any framing or content
+    failure -- snapshots are installed atomically, so a bad one is never
+    a benign crash artifact.
+    """
+    path = os.path.join(directory, SNAPSHOT_NAME)
+    if not os.path.exists(path):
+        return None
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if len(data) < _HEADER.size:
+        raise WalCorruption(f"snapshot {path} too short ({len(data)} bytes)")
+    length, crc = _HEADER.unpack_from(data, 0)
+    payload = data[_HEADER.size : _HEADER.size + length]
+    if len(payload) != length:
+        raise WalCorruption(f"snapshot {path} truncated")
+    if zlib.crc32(payload) != crc:
+        raise WalCorruption(f"snapshot {path} failed its CRC")
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise WalCorruption(f"snapshot {path} is unreadable: {exc}") from exc
+    if (
+        not isinstance(obj, dict)
+        or not isinstance(obj.get("lsn"), int)
+        or not isinstance(obj.get("state"), dict)
+    ):
+        raise WalCorruption(f"snapshot {path} has a malformed envelope")
+    return obj["state"], obj["lsn"]

@@ -86,3 +86,29 @@ class AdaptiveError(ReproError):
 
 class IngressError(ReproError):
     """Raised by the asyncio ingress layer (coalescing front door)."""
+
+
+class DurabilityError(ReproError):
+    """Raised by the write-ahead log / snapshot / recovery subsystem."""
+
+
+class WalCorruption(DurabilityError):
+    """Raised when a WAL or snapshot fails validation during recovery.
+
+    This is the *typed* failure mode of recovery: a CRC mismatch, an LSN
+    gap, or an unreadable payload always surfaces here -- never as a
+    silent wrong state and never as a raw ``struct`` / ``json`` error.
+    A torn final record is NOT corruption (it is the normal artifact of
+    a crash mid-append) and is discarded silently instead.
+    """
+
+
+class InjectedCrash(DurabilityError):
+    """Raised by the fault-injection layer at an armed crash point.
+
+    Simulates the process dying at exactly that instruction: whatever the
+    current operation had not yet written stays unwritten, whatever it had
+    already written stays on disk (possibly torn).  Callers that supervise
+    shards (:class:`repro.cluster.ServingCluster`) translate it into a
+    shard kill; nothing else should catch it.
+    """

@@ -25,6 +25,13 @@ from typing import Any, Callable, Optional
 from ..errors import IngressError
 
 
+def _consume_task_result(task: "asyncio.Task") -> None:
+    """Retrieve a finished task's outcome so asyncio never warns about it."""
+    if task.cancelled():
+        return
+    task.exception()
+
+
 class PeriodicTicker:
     """Runs ``fn()`` every ``interval_s`` as a background asyncio task."""
 
@@ -50,7 +57,21 @@ class PeriodicTicker:
         """Spawn the background task on the running event loop."""
         if self.running:
             raise IngressError(f"ticker {self.name!r} is already running")
-        self._task = asyncio.get_event_loop().create_task(self._run())
+        if self._task is not None:
+            # A previous run finished (cancelled or crashed); make sure its
+            # outcome is consumed so asyncio never logs "exception was
+            # never retrieved" for a ticker we knowingly replaced.
+            _consume_task_result(self._task)
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError as exc:
+            raise IngressError(
+                f"ticker {self.name!r} must be started from a running "
+                "event loop"
+            ) from exc
+        self._task = loop.create_task(
+            self._run(), name=f"repro-ticker-{self.name}"
+        )
 
     async def _run(self) -> None:
         while True:
@@ -68,15 +89,43 @@ class PeriodicTicker:
                 self.last_error = exc
 
     async def stop(self) -> None:
-        """Cancel the background task and wait for it to unwind."""
-        if self._task is None:
+        """Cancel the background task and wait for it to unwind.
+
+        Safe to call at any point of the loop's life: a never-started or
+        already-stopped ticker is a no-op, a task that already finished
+        has its outcome consumed (so asyncio debug mode never warns about
+        an unretrieved exception), and a live task is cancelled and
+        awaited so nothing is left pending when the loop closes.
+        """
+        task, self._task = self._task, None
+        if task is None:
             return
-        self._task.cancel()
+        if task.done():
+            _consume_task_result(task)
+            return
+        task.cancel()
         try:
-            await self._task
+            await task
         except asyncio.CancelledError:
             pass
-        self._task = None
+
+    def cancel(self) -> None:
+        """Synchronously request cancellation (loop-teardown paths).
+
+        For callers that cannot ``await`` -- e.g. a shutdown callback on a
+        closing loop.  The task is cancelled and detached with its outcome
+        consumed via a done-callback, so no pending-task or unretrieved-
+        exception warning can leak; prefer :meth:`stop` when awaiting is
+        possible, since only it guarantees the task has fully unwound.
+        """
+        task, self._task = self._task, None
+        if task is None:
+            return
+        if task.done():
+            _consume_task_result(task)
+            return
+        task.cancel()
+        task.add_done_callback(_consume_task_result)
 
     def fire_now(self) -> None:
         """Run one tick synchronously (tests and drain paths)."""

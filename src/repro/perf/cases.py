@@ -1,6 +1,6 @@
 """The library's named hot paths, packaged as perf cases.
 
-Seven paths cover every layer a figure benchmark or the serving stack
+Nine paths cover every layer a figure benchmark or the serving stack
 exercises:
 
 * ``als_cold``       -- one full censored-ALS solve from scratch,
@@ -15,7 +15,11 @@ exercises:
                         future, and coalescer overhead included),
 * ``adapt_drift``    -- the drift-adaptation loop: residual recording,
                         detection, and one budgeted response (invalidate +
-                        re-anchor + re-explore + warm refresh).
+                        re-anchor + re-explore + warm refresh),
+* ``wal_append``     -- the write-ahead journal's append hot path (frame +
+                        CRC + unbuffered write per feedback batch),
+* ``recovery_replay`` -- crash recovery: snapshot load plus WAL replay
+                        back to a live matrix.
 
 Two scales are provided: ``smoke`` (seconds, used by the CI perf job) and
 ``default`` (the numbers quoted in ``docs/performance.md``).
@@ -47,6 +51,8 @@ SCALES: Dict[str, Dict[str, int]] = {
         "serve_batches": 50,
         "serve_batch_size": 512,
         "ingress_requests": 2000,
+        "wal_appends": 400,
+        "replay_records": 300,
         "repeats": 3,
     },
     "default": {
@@ -56,6 +62,8 @@ SCALES: Dict[str, Dict[str, int]] = {
         "serve_batches": 200,
         "serve_batch_size": 1024,
         "ingress_requests": 8000,
+        "wal_appends": 2000,
+        "replay_records": 1500,
         "repeats": 3,
     },
 }
@@ -301,5 +309,80 @@ def build_suite(scale_name: str = "smoke") -> PerfHarness:
         }
 
     harness.add("adapt_drift", run_adapt, setup=setup_adapt, repeats=repeats)
+
+    # -- wal_append --------------------------------------------------------
+    def setup_wal():
+        import tempfile
+
+        from ..durability.journal import ShardJournal
+
+        home = tempfile.TemporaryDirectory(prefix="repro-perf-wal-")
+        journal = ShardJournal(home.name)
+        rng = np.random.default_rng(23)
+        n, k = scale["n_queries"], scale["n_hints"]
+        batches = [
+            (
+                rng.integers(0, n, size=64),
+                rng.integers(0, k, size=64),
+                rng.uniform(0.5, 20.0, size=64),
+            )
+            for _ in range(scale["wal_appends"])
+        ]
+        # The TemporaryDirectory rides along in the state so its finalizer
+        # cleans the segments up when the harness lets go of it.
+        return home, journal, batches
+
+    def run_wal(state):
+        _, journal, batches = state
+        for queries, hints, values in batches:
+            journal.log_observe(queries, hints, values)
+        return {
+            "records": int(journal.appended_records),
+            "bytes": int(journal.appended_bytes),
+        }
+
+    harness.add("wal_append", run_wal, setup=setup_wal, repeats=repeats)
+
+    # -- recovery_replay ---------------------------------------------------
+    def setup_recovery():
+        import tempfile
+
+        from ..durability.journal import ShardJournal
+        from ..durability.snapshot import matrix_to_jsonable
+
+        home = tempfile.TemporaryDirectory(prefix="repro-perf-recover-")
+        n, k = scale["n_queries"], scale["n_hints"]
+        matrix = WorkloadMatrix(n, k)
+        journal = ShardJournal(home.name)
+        journal.log_import(matrix_to_jsonable(matrix.to_dict()))
+        matrix.journal = journal
+        rng = np.random.default_rng(31)
+        matrix.observe_batch(
+            np.arange(n), np.zeros(n, dtype=np.int64), rng.uniform(1.0, 10.0, n)
+        )
+        # Half the history lands before a checkpoint (folded into the
+        # snapshot, segments truncated), half after (replayed record by
+        # record) -- the mix a real crash sees.
+        total = scale["replay_records"]
+        for step in range(total):
+            queries = rng.integers(0, n, size=32)
+            hints = rng.integers(0, k, size=32)
+            matrix.observe_batch(queries, hints, rng.uniform(0.5, 20.0, size=32))
+            if step == total // 2:
+                journal.checkpoint(matrix_to_jsonable(matrix.to_dict()))
+        journal.close()
+        return home
+
+    def run_recovery(home):
+        from ..durability.recovery import recover_journal
+
+        journal, state = recover_journal(home.name)
+        journal.close()
+        return {
+            "replayed": int(state.replayed_records),
+            "skipped": int(state.skipped_records),
+        }
+
+    harness.add("recovery_replay", run_recovery, setup=setup_recovery, repeats=repeats)
 
     return harness

@@ -14,7 +14,8 @@ runner that drives a live :class:`~repro.serving.ServingService` or
   decision blobs,
 * :mod:`repro.scenarios.primitives` -- the named library (sudden 70/30
   shift, gradual drift, diurnal mixes, flash crowds, template streams, ETL
-  floods, tenant churn) mapped to the paper's Figures 8-11.
+  floods, tenant churn, shard-crash chaos) mapped to the paper's
+  Figures 8-11.
 """
 
 from .primitives import (
@@ -23,13 +24,16 @@ from .primitives import (
     etl_flood,
     flash_crowd,
     gradual_data_drift,
+    kill_shard_mid_drift,
     new_template_stream,
+    restart_during_flash_crowd,
     standard_scenarios,
     sudden_workload_shift,
     tenant_churn,
 )
 from .runner import ScenarioRunner, ScenarioTrace, TickStats
 from .spec import (
+    CLUSTER_ACTIONS,
     DISTURBANCE_ACTIONS,
     EVENT_ACTIONS,
     ScenarioEvent,
@@ -45,13 +49,16 @@ __all__ = [
     "etl_flood",
     "flash_crowd",
     "gradual_data_drift",
+    "kill_shard_mid_drift",
     "new_template_stream",
+    "restart_during_flash_crowd",
     "standard_scenarios",
     "sudden_workload_shift",
     "tenant_churn",
     "ScenarioRunner",
     "ScenarioTrace",
     "TickStats",
+    "CLUSTER_ACTIONS",
     "DISTURBANCE_ACTIONS",
     "EVENT_ACTIONS",
     "ScenarioEvent",

@@ -18,7 +18,11 @@ ROADMAP's scenario-diversity goal asks for:
 * :func:`etl_flood`              -- incompressible ETL rows flooding in
   while the base workload drifts (Figure 8 meets Figure 11),
 * :func:`tenant_churn`           -- tenants joining cold / leaving live
-  with a shard added mid-run (cluster targets).
+  with a shard added mid-run (cluster targets),
+* :func:`kill_shard_mid_drift`   -- a shard crashes mid-drift and rejoins
+  from its write-ahead journal (cluster targets),
+* :func:`restart_during_flash_crowd` -- a crashed shard rejoins in the
+  middle of a 4x burst (cluster targets).
 
 All builders are pure: same arguments, same spec -- replay determinism
 starts here.  :func:`standard_scenarios` is the whole library by name;
@@ -260,6 +264,94 @@ def tenant_churn(
     )
 
 
+def kill_shard_mid_drift(
+    seed: int = 0,
+    n_queries: int = 80,
+    n_hints: int = 12,
+    batch_size: int = 128,
+    shard: int = 0,
+) -> ScenarioSpec:
+    """Chaos: a shard process dies in the middle of a gradual drift and
+    rejoins from its journal several ticks later (cluster-only).
+
+    The outage window exercises degraded default-plan serving plus the
+    feedback outage queue; the restart exercises WAL replay, queue drain,
+    and adaptation-backlog recovery -- all while the data keeps aging.
+    """
+    return ScenarioSpec(
+        name="kill_shard_mid_drift",
+        seed=seed,
+        tenants=(
+            TenantSpec(name="ledger", n_queries=n_queries, n_hints=n_hints),
+        ),
+        phases=(
+            ScenarioPhase(name="steady", ticks=8, batch_size=batch_size),
+            ScenarioPhase(
+                name="aging",
+                ticks=14,
+                batch_size=batch_size,
+                drift_per_tick={"changed_fraction": 0.05, "growth_factor": 1.01},
+            ),
+            ScenarioPhase(name="settled", ticks=10, batch_size=batch_size),
+        ),
+        events=(
+            ScenarioEvent(
+                tick=12, action="kill_shard", params={"shard": shard}
+            ),
+            ScenarioEvent(
+                tick=17, action="restart_shard", params={"shard": shard}
+            ),
+        ),
+    )
+
+
+def restart_during_flash_crowd(
+    seed: int = 0,
+    n_queries: int = 120,
+    n_hints: int = 12,
+    batch_size: int = 96,
+    shard: int = 0,
+) -> ScenarioSpec:
+    """Chaos: a shard lost before a flash crowd rejoins mid-burst
+    (cluster-only).
+
+    The 4x burst lands while the cluster is degraded, so the recovered
+    shard must absorb both the queued outage feedback and peak traffic the
+    moment it is back.
+    """
+    return ScenarioSpec(
+        name="restart_during_flash_crowd",
+        seed=seed,
+        tenants=(
+            TenantSpec(name="checkout", n_queries=n_queries, n_hints=n_hints),
+        ),
+        phases=(
+            ScenarioPhase(name="calm", ticks=10, batch_size=batch_size),
+            ScenarioPhase(
+                name="burst",
+                ticks=8,
+                batch_size=batch_size,
+                burst_multiplier=4.0,
+            ),
+            ScenarioPhase(name="after", ticks=12, batch_size=batch_size),
+        ),
+        events=(
+            ScenarioEvent(
+                tick=8, action="kill_shard", params={"shard": shard}
+            ),
+            ScenarioEvent(
+                tick=10,
+                action="data_drift",
+                tenant="checkout",
+                params={"changed_fraction": 0.25, "growth_factor": 1.12},
+            ),
+            ScenarioEvent(
+                tick=13, action="restart_shard", params={"shard": shard}
+            ),
+        ),
+    )
+
+
 def standard_scenarios(seed: int = 0) -> Dict[str, ScenarioSpec]:
     """The whole named library, seed applied uniformly."""
     specs = [
@@ -270,6 +362,8 @@ def standard_scenarios(seed: int = 0) -> Dict[str, ScenarioSpec]:
         new_template_stream(seed),
         etl_flood(seed),
         tenant_churn(seed),
+        kill_shard_mid_drift(seed),
+        restart_during_flash_crowd(seed),
     ]
     return {spec.name: spec for spec in specs}
 

@@ -5,8 +5,9 @@ tick by tick against either a single :class:`~repro.serving.ServingService`
 (multi-tenant rows unioned into one matrix) or a sharded
 :class:`~repro.cluster.ServingCluster`.  Per tick it:
 
-1. fires the tick's events (drift, floods, churn, shard adds) against the
-   mutable :class:`~repro.scenarios.world.TenantWorld` ground truth,
+1. fires the tick's events (drift, floods, churn, shard adds, shard
+   crashes / journal-recovery rejoins) against the mutable
+   :class:`~repro.scenarios.world.TenantWorld` ground truth,
 2. samples arrivals from the phase's tenant mix (diurnal modulation and
    flash-crowd bursts included) with a dedicated arrival RNG stream,
 3. serves each tenant's batch, *executes* the served hints against the
@@ -26,6 +27,8 @@ byte-identical decision traces (asserted in
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -216,6 +219,16 @@ class _ServiceTarget:
             "add_shard events need a cluster target, not a single service"
         )
 
+    def kill_shard(self, shard_id: int) -> None:
+        raise ScenarioError(
+            "kill_shard events need a cluster target, not a single service"
+        )
+
+    def restart_shard(self, shard_id: int) -> None:
+        raise ScenarioError(
+            "restart_shard events need a cluster target, not a single service"
+        )
+
     def adaptive_report(self) -> Optional[Dict[str, float]]:
         if self.controller is None:
             return None
@@ -233,6 +246,7 @@ class _ClusterTarget:
         als_config: ALSConfig,
         refresh_iterations: int,
         refresh_budget: int,
+        durability_dir: Optional[str] = None,
     ) -> None:
         self.worlds = worlds
         self.cluster = ServingCluster(
@@ -241,6 +255,7 @@ class _ClusterTarget:
             als_config=als_config,
             refresh_iterations=refresh_iterations,
             refresh_budget=refresh_budget,
+            durability_dir=durability_dir,
         )
         self.controller: Optional[ClusterAdaptationController] = None
 
@@ -292,6 +307,14 @@ class _ClusterTarget:
         if self.controller is not None:
             self.controller.notify_topology_change()
 
+    def kill_shard(self, shard_id: int) -> None:
+        self.cluster.kill_shard(shard_id)
+
+    def restart_shard(self, shard_id: int) -> None:
+        state = self.cluster.restart_shard(shard_id)
+        if self.controller is not None and state.backlog.size:
+            self.controller.restore_backlog(shard_id, state.backlog)
+
     def adaptive_report(self) -> Optional[Dict[str, float]]:
         if self.controller is None:
             return None
@@ -325,6 +348,12 @@ class ScenarioRunner:
         Fraction of initially visible rows whose true-best hint is observed
         before tick 0 (models converged offline exploration, Figure 2's
         steady state).  The default column is always observed.
+    durability_dir:
+        Directory for the cluster target's per-shard write-ahead journals.
+        Required (in spirit) by chaos specs containing ``kill_shard`` /
+        ``restart_shard`` events: when those are present and no directory
+        is given, the runner creates a temporary one per :meth:`run` and
+        removes it afterwards, so chaos scenarios work out of the box.
     """
 
     def __init__(
@@ -340,6 +369,7 @@ class ScenarioRunner:
         als_config: Optional[ALSConfig] = None,
         refresh_iterations: int = 3,
         refresh_budget: int = 1,
+        durability_dir: Optional[str] = None,
     ) -> None:
         self._target_factory = target if callable(target) else None
         if self._target_factory is None:
@@ -379,9 +409,18 @@ class ScenarioRunner:
         self.als_config = als_config or ALSConfig()
         self.refresh_iterations = int(refresh_iterations)
         self.refresh_budget = int(refresh_budget)
+        self.durability_dir = durability_dir
+        self._needs_durability = any(
+            event.action in ("kill_shard", "restart_shard")
+            for event in spec.events
+        )
 
     # -- construction ------------------------------------------------------------
-    def _build_target(self, worlds: Dict[str, TenantWorld]):
+    def _build_target(
+        self,
+        worlds: Dict[str, TenantWorld],
+        durability_dir: Optional[str] = None,
+    ):
         if self._target_factory is not None:
             return self._target_factory(worlds)
         if self.target_kind == "cluster":
@@ -392,6 +431,7 @@ class ScenarioRunner:
                 self.als_config,
                 self.refresh_iterations,
                 self.refresh_budget,
+                durability_dir=durability_dir,
             )
         return _ServiceTarget(
             worlds, self.n_hints, self.als_config, self.refresh_iterations
@@ -415,13 +455,25 @@ class ScenarioRunner:
     # -- the run --------------------------------------------------------------------
     def run(self) -> ScenarioTrace:
         """Execute the full timeline; returns the trace."""
+        durability_dir = self.durability_dir
+        scratch: Optional[str] = None
+        if durability_dir is None and self._needs_durability:
+            scratch = tempfile.mkdtemp(prefix="repro-scenario-wal-")
+            durability_dir = scratch
+        try:
+            return self._run(durability_dir)
+        finally:
+            if scratch is not None:
+                shutil.rmtree(scratch, ignore_errors=True)
+
+    def _run(self, durability_dir: Optional[str]) -> ScenarioTrace:
         arrival_rng = np.random.default_rng([self.spec.seed, 11])
         world_rng = np.random.default_rng([self.spec.seed, 23])
         bootstrap_rng = np.random.default_rng([self.spec.seed, 5])
 
         worlds: Dict[str, TenantWorld] = {}
         order: List[str] = []
-        target = self._build_target(worlds)
+        target = self._build_target(worlds, durability_dir)
         for tenant_spec in self.spec.tenants:
             world = TenantWorld(tenant_spec, seed=self.spec.seed)
             worlds[tenant_spec.name] = world
@@ -588,5 +640,9 @@ class ScenarioRunner:
             worlds[event.tenant].active = False
         elif event.action == "add_shard":
             target.add_shard()
+        elif event.action == "kill_shard":
+            target.kill_shard(int(event.params.get("shard", 0)))
+        elif event.action == "restart_shard":
+            target.restart_shard(int(event.params.get("shard", 0)))
         else:  # pragma: no cover - spec validation rejects unknown actions
             raise ScenarioError(f"unhandled event action {event.action!r}")

@@ -11,7 +11,8 @@ active tenant plus one background heartbeat).  Three layers compose:
   diurnal modulation, and optional per-tick gradual data drift,
 * :class:`ScenarioEvent` -- a one-shot disturbance at an absolute tick:
   sudden data drift, an ETL flood, a stream of new templates, the late
-  30% of a workload shift arriving, tenant churn, a live shard addition.
+  30% of a workload shift arriving, tenant churn, a live shard addition,
+  a shard crash, a crashed shard rejoining from its journal.
 
 Everything is a frozen dataclass validated at construction, so a spec
 either is runnable or raises :class:`~repro.errors.ScenarioError` at
@@ -35,7 +36,15 @@ EVENT_ACTIONS = (
     "tenant_join",     # a new tenant registers (churn)
     "tenant_leave",    # a tenant stops arriving (churn)
     "add_shard",       # live cluster rebalance (cluster targets only)
+    "kill_shard",      # crash a shard process (cluster targets only)
+    "restart_shard",   # recover a killed shard from its journal
 )
+
+#: Cluster-only actions: the runner must be pointed at a ServingCluster.
+CLUSTER_ACTIONS = frozenset({"add_shard", "kill_shard", "restart_shard"})
+
+#: Actions that name a shard via ``params={"shard": id}`` instead of a tenant.
+_SHARD_ACTIONS = frozenset({"kill_shard", "restart_shard"})
 
 DISTURBANCE_ACTIONS = frozenset(
     {"data_drift", "etl_flood", "new_templates", "activate_rest"}
@@ -113,8 +122,16 @@ class ScenarioEvent:
             )
         if self.action == "tenant_join" and self.tenant_spec is None:
             raise ScenarioError("tenant_join events need a tenant_spec")
-        if self.action != "add_shard" and self.action != "tenant_join" and not self.tenant:
+        tenant_free = {"add_shard", "tenant_join"} | _SHARD_ACTIONS
+        if self.action not in tenant_free and not self.tenant:
             raise ScenarioError(f"{self.action!r} events need a tenant")
+        if self.action in _SHARD_ACTIONS:
+            shard = self.params.get("shard", 0)
+            if int(shard) != shard or int(shard) < 0:
+                raise ScenarioError(
+                    f"{self.action!r} events need a non-negative integer "
+                    f"'shard' param, got {shard!r}"
+                )
 
     def param(self, name: str, default: float) -> float:
         """Look up a numeric parameter with a default."""
@@ -221,6 +238,7 @@ class ScenarioSpec:
             tenant.name for tenant in self.tenants if tenant.initial_fraction < 1.0
         }
         total = self.total_ticks
+        down: set = set()  # shard ids killed and not yet restarted
         for event in sorted(self.events, key=lambda e: e.tick):
             if event.tick >= total:
                 raise ScenarioError(
@@ -241,6 +259,30 @@ class ScenarioSpec:
                     f"scenario {self.name!r}: event {event.action!r} references "
                     f"unknown tenant {event.tenant!r}"
                 )
+            if event.action == "add_shard" and down:
+                raise ScenarioError(
+                    f"scenario {self.name!r}: add_shard at tick {event.tick} "
+                    f"while shards {sorted(down)} are down; the cluster "
+                    "cannot rebalance during an outage"
+                )
+            if event.action == "kill_shard":
+                shard = int(event.params.get("shard", 0))
+                if shard in down:
+                    raise ScenarioError(
+                        f"scenario {self.name!r}: kill_shard at tick "
+                        f"{event.tick} targets shard {shard}, which is "
+                        "already down"
+                    )
+                down.add(shard)
+            elif event.action == "restart_shard":
+                shard = int(event.params.get("shard", 0))
+                if shard not in down:
+                    raise ScenarioError(
+                        f"scenario {self.name!r}: restart_shard at tick "
+                        f"{event.tick} targets shard {shard}, which was "
+                        "never killed; schedule its kill_shard event first"
+                    )
+                down.discard(shard)
             if event.action == "activate_rest":
                 partial.discard(event.tenant)
             elif event.action in ("etl_flood", "new_templates") and (
@@ -304,8 +346,9 @@ class ScenarioSpec:
         return names
 
     def uses_cluster_actions(self) -> bool:
-        """True when the spec contains cluster-only events (add_shard)."""
-        return any(event.action == "add_shard" for event in self.events)
+        """True when the spec contains cluster-only events (add_shard,
+        kill_shard, restart_shard)."""
+        return any(event.action in CLUSTER_ACTIONS for event in self.events)
 
     def describe(self) -> str:
         """One-line human summary."""

@@ -27,6 +27,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.workload_matrix import WorkloadMatrix
+from ..durability.snapshot import matrix_to_jsonable
 from ..errors import ServingError
 from ..plans.featurize import TreeBatch
 from .batch_cache import BatchDecisions, BatchedPlanCache
@@ -120,6 +121,14 @@ class ServingService:
         :class:`repro.adaptive.DriftDetector` window).  It receives every
         :meth:`record_measured` feedback batch so an adaptation controller
         can watch live residuals without sitting on the serve path.
+    journal:
+        Optional write-ahead journal
+        (:class:`~repro.durability.ShardJournal`), riding the same seam as
+        ``recorder``: externally owned, survives service rebuilds.  It is
+        attached to the *matrix*, so every mutation -- including ones that
+        bypass this service, like re-exploration -- is logged before it
+        applies; :meth:`record_measured` additionally journals executed
+        decisions for audit.
     """
 
     def __init__(
@@ -132,6 +141,7 @@ class ServingService:
         clock=time.perf_counter,
         recorder: Optional[LatencyRecorder] = None,
         monitor=None,
+        journal=None,
     ) -> None:
         self.matrix = matrix
         self.cache = BatchedPlanCache(
@@ -140,6 +150,19 @@ class ServingService:
         self.refresher = refresher
         self.estimator = estimator
         self.monitor = monitor
+        self.journal = journal
+        if journal is not None:
+            if (
+                journal.next_lsn == 1
+                and journal.appended_records == 0
+                and journal.recovered_snapshot is None
+            ):
+                # A brand-new journal: bootstrap it with the matrix as it
+                # stands, so recovery has a starting point.  (A cluster
+                # shard logs its own import first; a recovered journal
+                # already has history; both skip this.)
+                journal.log_import(matrix_to_jsonable(matrix.to_dict()))
+            matrix.journal = journal
         self._clock = clock
         self._recorder = recorder if recorder is not None else LatencyRecorder()
 
@@ -229,6 +252,10 @@ class ServingService:
                 decisions.expected_latency,
                 measured,
             )
+        if self.journal is not None and not observe:
+            # observe=True routes through the matrix, which journals the
+            # same cells as an "observe" record; avoid double-logging.
+            self.journal.log_measured(decisions.queries, decisions.hints, measured)
         if observe:
             self.observe_batch(
                 decisions.queries, decisions.hints, measured, refresh=False

@@ -16,6 +16,7 @@ Three layers, matching the module's design:
 """
 
 import asyncio
+import gc
 
 import numpy as np
 import pytest
@@ -283,6 +284,60 @@ class TestPeriodicTicker:
         ticker = PeriodicTicker(lambda: None, 1.0)
         ticker.fire_now()
         assert ticker.runs == 1
+
+    def test_start_outside_running_loop_raises(self):
+        ticker = PeriodicTicker(lambda: None, 1.0)
+        with pytest.raises(IngressError):
+            ticker.start()
+
+    def test_stop_tolerates_every_lifecycle_state(self):
+        # Debug mode makes asyncio report pending-task destruction and
+        # unretrieved task exceptions through the loop exception handler;
+        # a hardened ticker shutdown must trigger neither.
+        problems = []
+
+        async def scenario():
+            asyncio.get_running_loop().set_exception_handler(
+                lambda loop, context: problems.append(context)
+            )
+            ticker = PeriodicTicker(lambda: None, 0.005, "clean")
+            await ticker.stop()  # never started: no-op
+            ticker.start()
+            await asyncio.sleep(0.012)
+            await ticker.stop()
+            await ticker.stop()  # idempotent
+            assert not ticker.running
+            ticker.start()  # restartable after a clean stop
+            await ticker.stop()
+            assert asyncio.all_tasks() == {asyncio.current_task()}
+
+        asyncio.run(scenario(), debug=True)
+        gc.collect()
+        assert problems == []
+
+    def test_sync_cancel_never_leaks_pending_tasks(self):
+        problems = []
+
+        async def scenario():
+            asyncio.get_running_loop().set_exception_handler(
+                lambda loop, context: problems.append(context)
+            )
+            ticker = PeriodicTicker(lambda: None, 0.005, "teardown")
+            ticker.cancel()  # never started: no-op
+            ticker.start()
+            await asyncio.sleep(0.012)
+            ticker.cancel()  # the no-await teardown path
+            assert not ticker.running
+            ticker.cancel()  # idempotent
+            for _ in range(5):  # let the cancellation unwind
+                await asyncio.sleep(0)
+            assert asyncio.all_tasks() == {asyncio.current_task()}
+            ticker.start()  # restartable after a sync cancel
+            await ticker.stop()
+
+        asyncio.run(scenario(), debug=True)
+        gc.collect()
+        assert problems == []
 
 
 # -- ServiceIngress --------------------------------------------------------------

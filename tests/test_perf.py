@@ -126,6 +126,8 @@ class TestSuite:
             "serve_batch",
             "ingress_serve",
             "adapt_drift",
+            "wal_append",
+            "recovery_replay",
         ]
 
     def test_suite_rejects_unknown_scale(self):
@@ -141,6 +143,16 @@ class TestSuite:
         assert (
             results["als_warm"].best_seconds < results["als_cold"].best_seconds
         )
+
+    def test_durability_cases_run_and_report_counts(self):
+        harness = build_suite("smoke")
+        results = harness.run(["wal_append", "recovery_replay"])
+        assert results["wal_append"].meta["records"] >= 400
+        assert results["wal_append"].meta["bytes"] > 0
+        # Half the history is behind the checkpoint; its segments were
+        # truncated, so recovery replays only the post-checkpoint half.
+        assert results["recovery_replay"].meta["replayed"] > 0
+        assert results["recovery_replay"].meta["skipped"] == 0
 
 
 class TestCli:

@@ -12,6 +12,8 @@ from repro.scenarios import (
     TenantSpec,
     TenantWorld,
     drift_benchmark_scenarios,
+    kill_shard_mid_drift,
+    restart_during_flash_crowd,
     standard_scenarios,
     tenant_churn,
 )
@@ -97,6 +99,68 @@ def test_runner_rejects_bad_targets():
         ScenarioRunner(tenant_churn(), target="service")  # add_shard needs cluster
     with pytest.raises(ScenarioError):
         ScenarioRunner(tiny_spec(), bootstrap_coverage=1.5)
+
+
+# -- chaos events (kill_shard / restart_shard) -------------------------------------
+def test_chaos_event_validation():
+    with pytest.raises(ScenarioError):
+        ScenarioEvent(tick=0, action="kill_shard", params={"shard": -1})
+    with pytest.raises(ScenarioError):
+        ScenarioEvent(tick=0, action="kill_shard", params={"shard": 1.5})
+    # No tenant needed; the shard param defaults to 0.
+    assert ScenarioEvent(tick=0, action="kill_shard").params.get("shard") is None
+    # Restart before any kill of that shard is rejected at spec time.
+    with pytest.raises(ScenarioError):
+        tiny_spec(
+            events=(
+                ScenarioEvent(tick=2, action="restart_shard", params={"shard": 0}),
+            )
+        )
+    # Double-kill without an intervening restart is rejected.
+    with pytest.raises(ScenarioError):
+        tiny_spec(
+            events=(
+                ScenarioEvent(tick=1, action="kill_shard", params={"shard": 0}),
+                ScenarioEvent(tick=2, action="kill_shard", params={"shard": 0}),
+            )
+        )
+    # A rebalance during an outage is rejected.
+    with pytest.raises(ScenarioError):
+        tiny_spec(
+            events=(
+                ScenarioEvent(tick=1, action="kill_shard", params={"shard": 0}),
+                ScenarioEvent(tick=2, action="add_shard"),
+            )
+        )
+    # A well-ordered kill/restart pair passes and flags cluster-only.
+    spec = tiny_spec(
+        events=(
+            ScenarioEvent(tick=1, action="kill_shard", params={"shard": 0}),
+            ScenarioEvent(tick=3, action="restart_shard", params={"shard": 0}),
+        )
+    )
+    assert spec.uses_cluster_actions()
+    with pytest.raises(ScenarioError):
+        ScenarioRunner(spec, target="service")  # chaos needs a cluster
+
+
+def test_chaos_scenarios_run_and_replay_deterministically():
+    spec = kill_shard_mid_drift(seed=0, n_queries=24, batch_size=32)
+    runner = ScenarioRunner(spec, target="cluster", adaptive=True, n_shards=2)
+    trace = runner.run()
+    assert len(trace.ticks) == spec.total_ticks
+    assert (trace.arrivals > 0).all()  # every tick answered, outage included
+    replay = ScenarioRunner(
+        spec, target="cluster", adaptive=True, n_shards=2
+    ).run()
+    assert trace.decisions_blob() == replay.decisions_blob()
+
+
+def test_restart_during_flash_crowd_spec_shape():
+    spec = restart_during_flash_crowd(seed=3)
+    actions = [e.action for e in sorted(spec.events, key=lambda e: e.tick)]
+    assert actions == ["kill_shard", "data_drift", "restart_shard"]
+    assert spec.uses_cluster_actions()
 
 
 # -- world ------------------------------------------------------------------------
