@@ -537,6 +537,9 @@ class ServingCluster:
         :class:`~repro.durability.RecoveredState`, whose ``backlog`` the
         owner should hand to the adaptation layer
         (:meth:`ClusterAdaptationController.restore_backlog`).
+
+        A crash injected while the queue drains downs the shard again and
+        keeps the unapplied tail queued; a further restart converges.
         """
         old = self._shard(shard_id)
         if not old.crashed:
@@ -556,13 +559,23 @@ class ServingCluster:
         self.shards[shard_id] = shard
         self.scheduler.replace(shard)
         self.health.mark_up(shard_id)
-        for kind, args in self._outage_queue.pop(shard_id, []):
-            if kind == "observe":
-                shard.observe_local(*args)
-                self._replayed_feedback += int(np.asarray(args[0]).size)
-            else:
-                shard.observe_censored_local(*args)
-                self._replayed_feedback += 1
+        pending = self._outage_queue.pop(shard_id, [])
+        for index, (kind, args) in enumerate(pending):
+            try:
+                if kind == "observe":
+                    shard.observe_local(*args)
+                    self._replayed_feedback += int(np.asarray(args[0]).size)
+                else:
+                    shard.observe_censored_local(*args)
+                    self._replayed_feedback += 1
+            except InjectedCrash:
+                # Same supervision as the live feedback paths: the crashed
+                # entry never applied (write-ahead ordering), so it and
+                # everything behind it stay queued for the next restart;
+                # idempotent replay converges on any WAL-captured prefix.
+                self._handle_crash(shard_id)
+                self._outage_queue[shard_id] = pending[index:]
+                break
         self._restarts += 1
         assert shard.recovered is not None
         return shard.recovered

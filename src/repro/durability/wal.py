@@ -244,7 +244,19 @@ class WriteAheadLog:
                 expected = record.lsn + 1
                 records.append(record)
             self._segments.append((first_lsn, path))
-        self.next_lsn = records[-1].lsn + 1 if records else 1
+        if records:
+            self.next_lsn = records[-1].lsn + 1
+        elif names:
+            # No record survived but segments exist -- the normal leftover
+            # of a checkpoint (rotate + truncate keeps one empty segment)
+            # followed by a crash or clean reopen.  Resume at the LSN the
+            # last segment's name promises: restarting at 1 would append
+            # pre-snapshot LSNs into a later-named segment, failing the
+            # name/LSN consistency check on the *next* open and silently
+            # skipping those records during snapshot replay.
+            self.next_lsn = names[-1][0]
+        else:
+            self.next_lsn = 1
         if self._segments:
             self._segment_path = self._segments[-1][1]
         else:

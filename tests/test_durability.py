@@ -161,6 +161,25 @@ class TestWriteAheadLog:
         with pytest.raises(WalCorruption):
             recover_journal(str(tmp_path))
 
+    def test_reopen_of_an_empty_rotated_log_resumes_lsn(self, tmp_path):
+        # A checkpoint leaves exactly one empty segment named for the next
+        # LSN; a reopen before any append must resume there, not at 1.
+        wal = WriteAheadLog(str(tmp_path))
+        wal.open()
+        wal.append("add_query", {"name": None})
+        wal.append("add_query", {"name": None})
+        wal.rotate()
+        wal.truncate_through(2)
+        wal.close()
+
+        reopened = WriteAheadLog(str(tmp_path))
+        assert reopened.open() == []
+        assert reopened.next_lsn == 3  # the segment name's promise
+        assert reopened.append("add_query", {"name": None}) == 3
+        reopened.close()
+        final = WriteAheadLog(str(tmp_path))
+        assert [r.lsn for r in final.open()] == [3]
+
     def test_truncate_through_unlinks_covered_segments(self, tmp_path):
         wal = WriteAheadLog(str(tmp_path))
         wal.open()
@@ -194,6 +213,28 @@ class TestSnapshot:
         assert state.replayed_records == 1  # only the post-checkpoint observe
         assert_same_matrix(state.matrix, matrix_to_jsonable(matrix.to_dict()))
         del service, bytes_before
+
+    def test_crash_right_after_checkpoint_keeps_the_journal_usable(self, tmp_path):
+        # checkpoint -> crash -> recover -> observe -> crash -> recover:
+        # the first recovery sees zero surviving WAL records and must
+        # resume LSNs past the snapshot, or the second one is bricked.
+        journal = ShardJournal(str(tmp_path))
+        matrix = make_matrix()
+        ServingService(matrix, journal=journal)
+        journal.checkpoint(matrix_to_jsonable(matrix.to_dict()))
+        journal.crash()
+
+        journal, state = recover_journal(str(tmp_path))
+        assert state.next_lsn == state.snapshot_lsn + 1
+        recovered = ServingService(state.matrix, journal=journal)
+        recovered.observe_batch([0], [1], [4.5])
+        expected = recovered.serve_all()
+        journal.crash()
+
+        final_service, final_state = recover_service(str(tmp_path))
+        assert final_state.replayed_records == 1  # the post-checkpoint observe
+        assert final_state.skipped_records == 0  # nothing silently dropped
+        assert_identical_decisions(final_service.serve_all(), expected)
 
     def test_corrupt_snapshot_is_typed(self, tmp_path):
         write_snapshot(str(tmp_path), {"matrix": None, "backlog": []}, 0)
@@ -383,6 +424,41 @@ class TestClusterCrashRejoin:
         assert len(crashed) == 1
 
         subject.restart_shard(crashed[0])
+        assert_identical_decisions(
+            subject.serve_all("web"), reference.serve_all("web")
+        )
+
+    def test_injected_crash_during_restart_replay_requeues_tail(self, tmp_path):
+        injector = FaultInjector()
+        subject, truth = self._populated(
+            tmp_path, "replay", fault_fs=FaultFS(injector)
+        )
+        reference, _ = self._populated(tmp_path, "reference")
+        feed(subject, "web", truth, np.random.default_rng(5))
+        feed(reference, "web", truth, np.random.default_rng(5))
+
+        subject.kill_shard(0)
+        feed(subject, "web", truth, np.random.default_rng(8))
+        feed(reference, "web", truth, np.random.default_rng(8))
+        assert subject.stats().queued_feedback > 0
+
+        # Fire on the second replayed append: one entry applies, the
+        # crash re-queues the rest and downs the shard with full
+        # bookkeeping (health + crash counter), so serving keeps
+        # degrading instead of raising.
+        injector.arm("wal.append.before_write", at=2)
+        subject.restart_shard(0)
+        stats = subject.stats()
+        assert subject.shards[0].crashed
+        assert stats.crashes == 2 and stats.restarts == 1
+        during = subject.serve_all("web")
+        assert during.used_default[np.isinf(during.expected_latency)].all()
+
+        # A further restart drains the re-queued tail; nothing was lost.
+        subject.restart_shard(0)
+        stats = subject.stats()
+        assert stats.restarts == 2
+        assert stats.replayed_feedback == stats.queued_feedback
         assert_identical_decisions(
             subject.serve_all("web"), reference.serve_all("web")
         )
