@@ -17,7 +17,10 @@ Three pillars (the ISSUE 9 bar):
   tick.
 
 ``CHAOS_SEED`` (env) reseeds the traffic so CI can sweep several seeds.
-Writes ``BENCH_durability.json``.
+Writes ``BENCH_durability.json`` plus ``TELEMETRY_durability.json`` -- a
+full telemetry snapshot (per-stage latency histograms, WAL segment/LSN/
+checkpoint gauges, circuit-breaker health) of a telemetry-enabled cluster
+driven through a kill/restart cycle.
 """
 
 import os
@@ -330,6 +333,87 @@ def test_journal_overhead_is_bounded(benchmark):
         f"({result['journaled_records']:.0f} records appended)"
     )
     assert result["overhead_ratio"] <= 1.3
+
+
+def telemetry_snapshot_under_chaos():
+    """Drive a telemetry-enabled durable cluster through a kill/restart
+    cycle and export the full observability snapshot as a CI artifact."""
+    from repro.telemetry import Telemetry, collect_snapshot, write_telemetry_json
+
+    home = tempfile.mkdtemp(prefix="repro-chaos-tel-")
+    try:
+        telemetry = Telemetry.enabled()
+        truth = make_truth(CHAOS_SEED)
+        cluster = ServingCluster(
+            3, N_HINTS, durability_dir=home, telemetry=telemetry
+        )
+        names = [f"q{i}" for i in range(N_ROWS)]
+        cluster.add_tenant("web", names)
+        rows = np.arange(N_ROWS)
+        cluster.observe_batch(
+            "web", rows, np.zeros(N_ROWS, dtype=np.int64), truth[:, 0]
+        )
+        stream = feedback_stream(truth, CHAOS_SEED, ticks=8)
+        for q, h, v in stream[:4]:
+            cluster.serve_all("web")
+            cluster.observe_batch("web", q, h, v)
+        victim = next(iter(cluster.shards))
+        cluster.kill_shard(victim)
+        cluster.serve_all("web")  # degraded answers while the shard is down
+        cluster.restart_shard(victim)
+        for q, h, v in stream[4:]:
+            cluster.serve_all("web")
+            cluster.observe_batch("web", q, h, v)
+        cluster.checkpoint()
+
+        snapshot = collect_snapshot(telemetry, cluster=cluster)
+        path = write_telemetry_json("durability", snapshot)
+        payload = snapshot.as_dict()
+        stages = payload["metrics"]["repro_stage_seconds"]["children"]
+        wal = payload["wal"]
+        cluster.close()
+        return {
+            "path": path,
+            "stages": sorted(stages),
+            "stage_observations": float(
+                sum(s["count"] for s in stages.values())
+            ),
+            "wal_shards": float(len(wal)),
+            "checkpoints": float(
+                sum(s["checkpoints"] for s in wal.values())
+            ),
+            "min_segment_count": float(
+                min(s["segment_count"] for s in wal.values())
+            ),
+            "down_shards": float(payload["health"]["n_down"]),
+        }
+    finally:
+        shutil.rmtree(home, ignore_errors=True)
+
+
+def test_telemetry_snapshot_artifact(benchmark):
+    result = run_once(benchmark, telemetry_snapshot_under_chaos)
+    RESULTS["telemetry"] = {
+        k: v for k, v in result.items() if k != "path"
+    }
+    print(
+        f"\n=== Telemetry snapshot ===\n"
+        f"wrote {result['path']}\n"
+        f"stages {result['stages']} "
+        f"({result['stage_observations']:.0f} observations), "
+        f"{result['checkpoints']:.0f} checkpoints across "
+        f"{result['wal_shards']:.0f} shard journals"
+    )
+    # Per-stage latency histograms cover the append and observe paths
+    # even without an ingress in front (no open trace required).
+    assert "wal.append" in result["stages"]
+    assert "observe" in result["stages"]
+    assert result["stage_observations"] > 0
+    # WAL gauges: every shard journal reports segments and the checkpoint.
+    assert result["wal_shards"] == 3.0
+    assert result["min_segment_count"] >= 1.0
+    assert result["checkpoints"] >= 3.0
+    assert result["down_shards"] == 0.0
 
 
 def run_chaos_scenario(build):

@@ -15,6 +15,10 @@ Four acceptance properties of the front door, exercised end-to-end:
 * **Shedding**: a burst beyond ``queue_capacity`` degrades the overflow
   to default-plan answers -- no errors -- and the shed count shows up in
   both the ingress and the backend stats.
+* **Telemetry**: the same stream served with telemetry *enabled* returns
+  identical decisions, and the collected snapshot (per-stage latency
+  histograms, trace ring, ingress/serving stats) is written out as the
+  ``TELEMETRY_ingress.json`` CI artifact.
 
 Run with ``pytest benchmarks/test_ingress_load.py --benchmark-only``.
 """
@@ -283,6 +287,87 @@ def test_ingress_decisions_match_sync_path(benchmark):
     print(f"wrote {path}")
     assert result["identical"] == 1.0, "ingress decisions diverged from sync serving"
     assert result["sync_served_latency"] == result["ingress_served_latency"]
+
+
+# -- telemetry on the request path: identical decisions + snapshot artifact ------
+
+
+def _run_telemetry():
+    from repro.telemetry import Telemetry, collect_snapshot, write_telemetry_json
+
+    plain = _service()
+    queries = _queries(plain.matrix.n_queries)
+    config = IngressConfig(
+        max_batch=256, max_wait_s=0.001, queue_capacity=len(queries)
+    )
+    telemetry = Telemetry.enabled()
+    traced = ServingService(
+        explored_matrix(
+            generate_workload(CEB_SPEC.scaled(0.1), seed=0),
+            observed_fraction=0.4,
+            seed=1,
+        ),
+        telemetry=telemetry,
+    )
+
+    async def drive(service, snapshot_with=None):
+        async with ServiceIngress(service, config) as ingress:
+            answers = await ingress.serve_many(queries)
+            snap = None
+            if snapshot_with is not None:
+                # Collected while the ingress is still up so the snapshot
+                # includes its queue/batch stats alongside the registry.
+                snap = collect_snapshot(
+                    snapshot_with, service=service, ingress=ingress
+                )
+            return answers, snap
+
+    plain_answers, _ = asyncio.run(drive(plain))
+    traced_answers, snapshot = asyncio.run(drive(traced, snapshot_with=telemetry))
+    identical = float(
+        len(plain_answers) == len(traced_answers)
+        and all(
+            a.hint == b.hint
+            and a.used_default == b.used_default
+            and a.expected_latency == b.expected_latency
+            for a, b in zip(plain_answers, traced_answers)
+        )
+    )
+    path = write_telemetry_json("ingress", snapshot)
+    payload = snapshot.as_dict()
+    stages = payload["metrics"]["repro_stage_seconds"]["children"]
+    return {
+        "path": path,
+        "requests": len(queries),
+        "identical": identical,
+        "stages": sorted(stages),
+        "stage_observations": float(sum(s["count"] for s in stages.values())),
+        "finished_traces": float(payload["traces"]["finished_traces"]),
+        "ring_traces": float(len(payload["traces"]["ring"])),
+        "served_decisions": float(payload["serving"]["decisions"]),
+    }
+
+
+def test_ingress_telemetry_identity_and_artifact(benchmark):
+    result = run_once(benchmark, _run_telemetry)
+    print(
+        f"\n=== Telemetry-enabled ingress ===\n"
+        f"wrote {result['path']}\n"
+        f"{result['requests']} requests, identical={bool(result['identical'])}, "
+        f"stages {result['stages']} "
+        f"({result['stage_observations']:.0f} observations, "
+        f"{result['finished_traces']:.0f} traces)"
+    )
+    # Instrumentation must not change a single decision.
+    assert result["identical"] == 1.0
+    # Every pipeline stage the ingress path crosses shows up in the
+    # per-stage histograms, and the trace ring retained recent requests.
+    for stage in ("ingress.flush", "shard.serve", "cache.lookup"):
+        assert stage in result["stages"], result["stages"]
+    assert result["stage_observations"] > 0
+    assert result["finished_traces"] > 0
+    assert result["ring_traces"] > 0
+    assert result["served_decisions"] == result["requests"]
 
 
 # -- overload: shed to default plans, never error --------------------------------

@@ -16,6 +16,8 @@ downstream user needs most:
 * the declarative traffic/scenario engine (:mod:`repro.scenarios`),
 * durable shard state -- WAL, snapshots, crash recovery, fault
   injection (:mod:`repro.durability`),
+* unified observability -- metrics registry, request tracing,
+  exportable runtime snapshots (:mod:`repro.telemetry`),
 * the simulated DBMS substrate (:mod:`repro.db`),
 * the numpy TCNN substrate (:mod:`repro.nn`),
 * the experiment harness regenerating every table and figure
@@ -45,6 +47,7 @@ from .config import (
     IngressConfig,
     SimulationConfig,
     TCNNConfig,
+    TelemetryConfig,
 )
 from .core import (
     ALSCompleter,
@@ -100,6 +103,15 @@ from .serving import (
     ServingService,
     ServingStats,
 )
+from .logging_util import configure_logging, get_logger
+from .telemetry import (
+    MetricsRegistry,
+    Telemetry,
+    TelemetrySnapshot,
+    Tracer,
+    collect_snapshot,
+    write_telemetry_json,
+)
 from .scenarios import (
     ScenarioEvent,
     ScenarioPhase,
@@ -142,6 +154,15 @@ __all__ = [
     "IngressConfig",
     "SimulationConfig",
     "TCNNConfig",
+    "TelemetryConfig",
+    "MetricsRegistry",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "Tracer",
+    "collect_snapshot",
+    "write_telemetry_json",
+    "configure_logging",
+    "get_logger",
     "ClusterIngress",
     "IngressDecision",
     "IngressStats",

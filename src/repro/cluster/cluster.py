@@ -99,6 +99,11 @@ class ServingCluster:
         shard's journal (the chaos-test seam).
     journal_sync:
         WAL sync policy for every shard journal (``"os"`` or ``"always"``).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`.  An *enabled* one is
+        shared (shard-labeled) with every shard's serving stack and feeds
+        the cluster facade's own counters and topology gauges; anything
+        else leaves every path uninstrumented.
     """
 
     def __init__(
@@ -115,6 +120,7 @@ class ServingCluster:
         durability_dir: Optional[str] = None,
         fault_fs: Optional[FaultFS] = None,
         journal_sync: str = "os",
+        telemetry=None,
     ) -> None:
         if n_shards < 1:
             raise ClusterError(f"cluster needs at least one shard, got {n_shards}")
@@ -147,6 +153,16 @@ class ServingCluster:
         # Feedback addressed to a crashed shard waits here (per shard id)
         # and replays on restart; entries are ("observe"|"censor", args).
         self._outage_queue: Dict[int, List[Tuple[str, tuple]]] = {}
+        # Normalised once: disabled telemetry costs one is-None check on
+        # the routed path.
+        self.telemetry = (
+            telemetry
+            if telemetry is not None and telemetry.config.enabled
+            else None
+        )
+        self._cluster_metrics = (
+            self.telemetry.cluster_metrics() if self.telemetry is not None else None
+        )
         for _ in range(n_shards):
             self._create_shard()
 
@@ -190,6 +206,11 @@ class ServingCluster:
             refresh_iterations=self._refresh_iterations,
             clock=self._clock,
             journal=journal,
+            telemetry=(
+                self.telemetry.labeled(str(self._next_shard_id))
+                if self.telemetry is not None
+                else None
+            ),
         )
         self._next_shard_id += 1
         self.shards[shard.shard_id] = shard
@@ -232,6 +253,8 @@ class ServingCluster:
                 source.remove_rows(owned)
                 shard.import_rows(payload)
             self._rebalanced_rows += len(moved)
+            if self._cluster_metrics is not None:
+                self._cluster_metrics.rebalanced_rows.inc(len(moved))
             self._rebuild_directories()
         return new_id
 
@@ -373,12 +396,24 @@ class ServingCluster:
         used_default = np.ones(n, dtype=bool)
         expected = np.full(n, np.inf)
         self._routed_batches += 1
-        groups = split_batch(shard_ids)
+        cm = self._cluster_metrics
+        if cm is None:
+            groups = split_batch(shard_ids)
+        else:
+            start = self._clock()
+            groups = split_batch(shard_ids)
+            self.telemetry.tracer.record_stage(
+                "router.split", self._clock() - start
+            )
+            cm.routed_batches.inc()
+            cm.fan_out.inc(len(groups))
         self._fan_out_total += len(groups)
         for sid, positions in groups:
             if not self.health.is_up(sid):
                 sub = degraded_decisions(local[positions], self.default_hint)
                 self._degraded_decisions += int(positions.size)
+                if cm is not None:
+                    cm.degraded.inc(int(positions.size))
             else:
                 try:
                     sub = self.shards[sid].serve_local(local[positions])
@@ -389,6 +424,8 @@ class ServingCluster:
                     self.health.record_failure(sid)
                     sub = degraded_decisions(local[positions], self.default_hint)
                     self._degraded_decisions += int(positions.size)
+                    if cm is not None:
+                        cm.degraded.inc(int(positions.size))
             hints[positions] = sub.hints
             used_default[positions] = sub.used_default
             expected[positions] = sub.expected_latency
@@ -485,6 +522,8 @@ class ServingCluster:
         if count < 0:
             raise ClusterError(f"shed count must be >= 0, got {count}")
         self._shed_decisions += int(count)
+        if self._cluster_metrics is not None:
+            self._cluster_metrics.shed.inc(count)
 
     # -- failover ---------------------------------------------------------------------
     def mark_down(self, shard_id: int) -> None:
@@ -504,9 +543,10 @@ class ServingCluster:
 
     def _queue_feedback(self, shard_id: int, kind: str, args: tuple) -> None:
         self._outage_queue.setdefault(shard_id, []).append((kind, args))
-        self._queued_feedback += (
-            int(np.asarray(args[0]).size) if kind == "observe" else 1
-        )
+        queued = int(np.asarray(args[0]).size) if kind == "observe" else 1
+        self._queued_feedback += queued
+        if self._cluster_metrics is not None:
+            self._cluster_metrics.queued_feedback.inc(queued)
 
     def _handle_crash(self, shard_id: int) -> None:
         """Turn an :class:`InjectedCrash` (or operator kill) into an outage."""
@@ -516,6 +556,8 @@ class ServingCluster:
         self.health.mark_down(shard_id)
         self._outage_queue.setdefault(shard_id, [])
         self._crashes += 1
+        if self._cluster_metrics is not None:
+            self._cluster_metrics.crashes.inc()
 
     def kill_shard(self, shard_id: int) -> None:
         """Crash a shard: in-memory state is gone, its rows degrade to
@@ -555,19 +597,28 @@ class ServingCluster:
             clock=self._clock,
             fs=self._fault_fs,
             sync=self._journal_sync,
+            telemetry=(
+                self.telemetry.labeled(str(shard_id))
+                if self.telemetry is not None
+                else None
+            ),
         )
         self.shards[shard_id] = shard
         self.scheduler.replace(shard)
         self.health.mark_up(shard_id)
         pending = self._outage_queue.pop(shard_id, [])
+        cm = self._cluster_metrics
         for index, (kind, args) in enumerate(pending):
             try:
                 if kind == "observe":
                     shard.observe_local(*args)
-                    self._replayed_feedback += int(np.asarray(args[0]).size)
+                    replayed = int(np.asarray(args[0]).size)
                 else:
                     shard.observe_censored_local(*args)
-                    self._replayed_feedback += 1
+                    replayed = 1
+                self._replayed_feedback += replayed
+                if cm is not None:
+                    cm.replayed_feedback.inc(replayed)
             except InjectedCrash:
                 # Same supervision as the live feedback paths: the crashed
                 # entry never applied (write-ahead ordering), so it and
@@ -577,6 +628,8 @@ class ServingCluster:
                 self._outage_queue[shard_id] = pending[index:]
                 break
         self._restarts += 1
+        if cm is not None:
+            cm.restarts.inc()
         assert shard.recovered is not None
         return shard.recovered
 
@@ -643,7 +696,22 @@ class ServingCluster:
         )
 
     def stats(self) -> ClusterStats:
-        """Cluster-wide report: merged counters, exact global percentiles."""
+        """Cluster-wide report: merged counters, exact global percentiles.
+
+        With telemetry enabled, the topology and scheduler gauges are
+        refreshed here (cold path) so a registry read right after
+        ``stats()`` -- :meth:`ClusterStats.from_registry`, the snapshot
+        collector -- sees current values.
+        """
+        cm = self._cluster_metrics
+        if cm is not None:
+            cm.shards.set(self.n_shards)
+            cm.shards_up.set(len(self.health.up_shards()))
+            cm.tenants.set(len(self._tenants))
+            cm.total_rows.set(sum(s.n_rows for s in self.shards.values()))
+            cm.scheduler_ticks.set(self.scheduler.ticks)
+            cm.scheduler_refreshes.set(self.scheduler.refreshes)
+            cm.scheduler_budget.set(self.scheduler.budget_per_tick)
         per_shard = {sid: shard.stats() for sid, shard in self.shards.items()}
         return ClusterStats(
             n_shards=self.n_shards,

@@ -54,6 +54,7 @@ class ClusterShard:
         refresh_iterations: int = 3,
         clock=time.perf_counter,
         journal: Optional[ShardJournal] = None,
+        telemetry=None,
     ) -> None:
         if n_hints < 1:
             raise ClusterError(f"shard needs a positive hint count, got {n_hints}")
@@ -79,6 +80,14 @@ class ClusterShard:
         # Owned by the shard, not the service: telemetry must survive the
         # service being retired and rebuilt when every row migrates away.
         self._recorder = LatencyRecorder()
+        # A shard-labeled view of the cluster's context (or None); handed
+        # to every service this shard builds so its metrics carry the
+        # shard's label.
+        self.telemetry = (
+            telemetry
+            if telemetry is not None and telemetry.config.enabled
+            else None
+        )
 
     # -- row bookkeeping -----------------------------------------------------
     @property
@@ -148,6 +157,7 @@ class ClusterShard:
                 clock=self._clock,
                 recorder=self._recorder,
                 journal=self.journal,
+                telemetry=self.telemetry,
             )
             indices = list(range(len(names)))
         else:
@@ -281,6 +291,7 @@ class ClusterShard:
         clock=time.perf_counter,
         fs=None,
         sync: str = "os",
+        telemetry=None,
     ) -> "ClusterShard":
         """Rebuild a shard from its journal directory after a crash.
 
@@ -299,6 +310,7 @@ class ClusterShard:
             refresh_iterations=refresh_iterations,
             clock=clock,
             journal=journal,
+            telemetry=telemetry,
         )
         if state.matrix is not None:
             if state.matrix.n_hints != shard.n_hints:
@@ -315,6 +327,7 @@ class ClusterShard:
                 clock=clock,
                 recorder=shard._recorder,
                 journal=journal,
+                telemetry=shard.telemetry,
             )
             shard._rows = {
                 name: index for index, name in enumerate(shard.matrix.query_names)

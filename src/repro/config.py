@@ -278,6 +278,65 @@ class IngressConfig:
 
 
 @dataclass(frozen=True)
+class TelemetryConfig:
+    """Knobs of the observability layer (:mod:`repro.telemetry`).
+
+    Telemetry is **off by default**: a service, cluster, or ingress built
+    without a :class:`~repro.telemetry.Telemetry` object (or with one whose
+    config has ``enabled=False``) runs exactly the pre-telemetry code path
+    -- the hot paths normalise a disabled telemetry object to ``None`` at
+    construction, so the disabled cost is literally zero extra allocations
+    (asserted in ``tests/test_telemetry.py``).
+
+    ``latency_buckets`` are the fixed upper bounds (seconds) of every
+    stage/batch latency histogram.  Fixed buckets are what make per-shard
+    histograms *mergeable*: merging is element-wise addition of bucket
+    counts, and ``merge(a, b)`` equals observing the union of samples
+    (hypothesis-verified).
+
+    ``slow_trace_seconds`` is the admission threshold of the slow-trace
+    ring: a finished request trace whose stage total meets it is kept in a
+    ring buffer of the ``trace_ring`` most recent such traces (0.0, the
+    default, keeps every trace -- "recent traces" -- which is what the
+    demo's top-5-slowest listing reads).
+
+    ``max_label_values`` bounds per-metric label cardinality: past the
+    limit, new label sets collapse into a shared ``"__overflow__"`` child
+    (and a registry-level overflow counter increments) instead of growing
+    the registry without bound -- a tenant-id explosion must never OOM the
+    metrics layer.
+    """
+
+    enabled: bool = False
+    latency_buckets: tuple = (
+        1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+        1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0,
+    )
+    slow_trace_seconds: float = 0.0
+    trace_ring: int = 64
+    max_label_values: int = 64
+
+    def __post_init__(self) -> None:
+        if not self.latency_buckets:
+            raise ConfigError("latency_buckets must not be empty")
+        bounds = tuple(float(b) for b in self.latency_buckets)
+        if any(b <= 0 for b in bounds):
+            raise ConfigError("latency bucket bounds must be > 0")
+        if list(bounds) != sorted(set(bounds)):
+            raise ConfigError("latency_buckets must be strictly increasing")
+        if self.slow_trace_seconds < 0:
+            raise ConfigError(
+                f"slow_trace_seconds must be >= 0, got {self.slow_trace_seconds}"
+            )
+        if self.trace_ring < 1:
+            raise ConfigError(f"trace_ring must be >= 1, got {self.trace_ring}")
+        if self.max_label_values < 1:
+            raise ConfigError(
+                f"max_label_values must be >= 1, got {self.max_label_values}"
+            )
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Controls the simulated offline exploration clock."""
 
@@ -296,6 +355,7 @@ class SimulationConfig:
                 raise ConfigError(f"checkpoint time must be >= 0, got {t}")
 
 
+DEFAULT_TELEMETRY_CONFIG = TelemetryConfig()
 DEFAULT_ADAPTIVE_CONFIG = AdaptiveConfig()
 DEFAULT_INGRESS_CONFIG = IngressConfig()
 DEFAULT_ALS_CONFIG = ALSConfig()

@@ -67,6 +67,23 @@ class ShardJournal:
         if self.recovered_snapshot is not None:
             state, _ = self.recovered_snapshot
             self._last_backlog = [int(r) for r in state.get("backlog", [])]
+        # Telemetry seam (bound by the owning service when enabled).
+        self._tracer = None
+        self._journal_metrics = None
+        self._stage_clock = None
+
+    def bind_telemetry(self, telemetry, clock) -> None:
+        """Feed WAL/checkpoint counters and the ``wal.append`` stage.
+
+        Only an *enabled* :class:`~repro.telemetry.Telemetry` binds; the
+        append path is otherwise untouched.  ``clock`` supplies the one
+        perf-counter pair each append costs when instrumented.
+        """
+        if telemetry is None or not telemetry.config.enabled:
+            return
+        self._tracer = telemetry.tracer
+        self._journal_metrics = telemetry.journal_metrics()
+        self._stage_clock = clock
 
     # -- recovery handoff -------------------------------------------------------------
     def take_recovered_records(self) -> List[WalRecord]:
@@ -87,7 +104,17 @@ class ShardJournal:
     # -- raw logging -------------------------------------------------------------------
     def log(self, kind: str, data: Dict[str, Any]) -> int:
         """Append one record; returns its LSN."""
-        return self.wal.append(kind, data)
+        if self._tracer is None:
+            return self.wal.append(kind, data)
+        start = self._stage_clock()
+        bytes_before = self.wal.appended_bytes
+        lsn = self.wal.append(kind, data)
+        self._tracer.record_stage("wal.append", self._stage_clock() - start)
+        self._journal_metrics.wal_records.inc()
+        self._journal_metrics.wal_bytes.inc(
+            self.wal.appended_bytes - bytes_before
+        )
+        return lsn
 
     # -- typed logging (the hooks the stack calls) ----------------------------------
     def log_observe(self, queries, hints, latencies) -> int:
@@ -157,6 +184,8 @@ class ShardJournal:
         self.wal.rotate()
         self.wal.truncate_through(lsn)
         self.checkpoints += 1
+        if self._journal_metrics is not None:
+            self._journal_metrics.checkpoints.inc()
         return lsn
 
     # -- observability -----------------------------------------------------------------------

@@ -88,6 +88,10 @@ class IngressError(ReproError):
     """Raised by the asyncio ingress layer (coalescing front door)."""
 
 
+class TelemetryError(ReproError):
+    """Raised by the metrics registry / tracing / snapshot subsystem."""
+
+
 class DurabilityError(ReproError):
     """Raised by the write-ahead log / snapshot / recovery subsystem."""
 

@@ -130,6 +130,9 @@ class _BaseIngress:
         self._started = False
         self._drain_scheduled = False
         self.tickers: List[PeriodicTicker] = []
+        # Set by subclasses from their backend's (already normalised)
+        # telemetry context; None keeps the flush path uninstrumented.
+        self._telemetry = None
 
     # -- lifecycle ---------------------------------------------------------------
     async def start(self) -> None:
@@ -268,6 +271,12 @@ class _BaseIngress:
             return
         tokens = [token for token, _ in batch]
         payloads = [payload for _, payload in batch]
+        tel = self._telemetry
+        if tel is not None:
+            # The trace root: inner stages (router.split, shard.serve,
+            # cache.lookup) recorded during _serve_payloads attach to it.
+            tel.tracer.start("ingress.flush", batch_size=len(payloads))
+            flush_start = time.perf_counter()
         try:
             results = self._serve_payloads(payloads)
         except Exception as exc:
@@ -275,11 +284,18 @@ class _BaseIngress:
             # degrades internally (failover, default plans) -- so this
             # is a genuine bug or resource failure.  Every caller in
             # the batch gets the exception; later batches are isolated.
+            if tel is not None:
+                tel.tracer.abandon()
             for token in tokens:
                 future = self._waiters.pop(token, None)
                 if future is not None and not future.done():
                     future.set_exception(exc)
         else:
+            if tel is not None:
+                tel.tracer.record_stage(
+                    "ingress.flush", time.perf_counter() - flush_start
+                )
+                tel.tracer.finish()
             for token, decision in zip(tokens, results):
                 future = self._waiters.pop(token, None)
                 if future is not None and not future.done():
@@ -341,6 +357,7 @@ class ServiceIngress(_BaseIngress):
     ) -> None:
         super().__init__(config=config, clock=clock)
         self.service = service
+        self._telemetry = service.telemetry
         self.controller = controller
         if controller is not None:
             self.tickers.append(
@@ -388,7 +405,7 @@ class ServiceIngress(_BaseIngress):
         )
 
     def _record_shed(self, count: int) -> None:
-        self.service.recorder.record_shed(count)
+        self.service.record_shed(count)
 
     def record_measured(
         self, decisions: Sequence[IngressDecision], measured
@@ -439,6 +456,7 @@ class ClusterIngress(_BaseIngress):
     ) -> None:
         super().__init__(config=config, clock=clock)
         self.cluster = cluster
+        self._telemetry = cluster.telemetry
         self.controller = controller
         if controller is not None:
             self.tickers.append(

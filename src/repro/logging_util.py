@@ -7,9 +7,34 @@ examples and the benchmark harness.
 
 from __future__ import annotations
 
+import json
 import logging
 
 _ROOT_NAME = "repro"
+# Attribute stamped onto handlers this module installs, so reconfiguration
+# only ever touches its own handler and never one the host app attached.
+_MANAGED_ATTR = "_repro_managed"
+
+_TEXT_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+
+
+class JsonFormatter(logging.Formatter):
+    """One structured dict per line, for log shippers and ``jq``.
+
+    Fields: ``ts`` (epoch seconds), ``level``, ``logger``, ``message``,
+    plus ``exc_info`` (formatted traceback) when present.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
 
 
 def get_logger(name: str) -> logging.Logger:
@@ -25,18 +50,43 @@ def get_logger(name: str) -> logging.Logger:
     return logging.getLogger(f"{_ROOT_NAME}.{name}")
 
 
-def configure_logging(level: int = logging.INFO) -> logging.Logger:
+def configure_logging(
+    level: int = logging.INFO, json_logs: bool = False
+) -> logging.Logger:
     """Attach a stream handler to the ``repro`` logger (idempotent).
+
+    Repeated calls reconfigure the handler this function previously
+    installed -- its level and its formatter both follow the latest
+    call, so flipping ``json_logs`` or tightening ``level`` mid-run
+    works without handler duplication.  Handlers attached by the host
+    application are left alone.
+
+    Parameters
+    ----------
+    level:
+        Threshold applied to both the ``repro`` logger and the managed
+        handler.
+    json_logs:
+        When true the managed handler emits one JSON dict per line
+        (:class:`JsonFormatter`) instead of the human-readable text
+        format.
 
     Returns the configured root ``repro`` logger.
     """
     logger = logging.getLogger(_ROOT_NAME)
     logger.setLevel(level)
-    if not logger.handlers:
+    handler = None
+    for existing in logger.handlers:
+        if getattr(existing, _MANAGED_ATTR, False):
+            handler = existing
+            break
+    if handler is None:
         handler = logging.StreamHandler()
-        formatter = logging.Formatter(
-            "%(asctime)s %(name)s %(levelname)s %(message)s"
-        )
-        handler.setFormatter(formatter)
+        setattr(handler, _MANAGED_ATTR, True)
         logger.addHandler(handler)
+    handler.setLevel(level)
+    if json_logs:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(_TEXT_FORMAT))
     return logger

@@ -1,6 +1,6 @@
 """The library's named hot paths, packaged as perf cases.
 
-Nine paths cover every layer a figure benchmark or the serving stack
+Ten paths cover every layer a figure benchmark or the serving stack
 exercises:
 
 * ``als_cold``       -- one full censored-ALS solve from scratch,
@@ -10,6 +10,10 @@ exercises:
                         (Algorithm 1 with the incremental ALS predictor),
 * ``tcnn_predict_full`` -- a full-matrix TCNN prediction pass,
 * ``serve_batch``    -- the batched online serving path,
+* ``telemetry_overhead`` -- the same serving loop with telemetry
+                        *enabled* (metrics mirror + stage timing); its
+                        normalised cost tracks the instrumentation tax
+                        against ``serve_batch``,
 * ``ingress_serve``  -- the asyncio front door: per-request awaits
                         coalesced into vectorised batches (event-loop,
                         future, and coalescer overhead included),
@@ -219,6 +223,37 @@ def build_suite(scale_name: str = "smoke") -> PerfHarness:
         return {"served": served}
 
     harness.add("serve_batch", run_serving, setup=setup_serving, repeats=repeats)
+
+    # -- telemetry_overhead ------------------------------------------------
+    def setup_telemetry_overhead():
+        from ..telemetry import Telemetry
+
+        workload = _workload(scale)
+        matrix = _partial_matrix(workload, fill=0.4)
+        telemetry = Telemetry.enabled()
+        service = ServingService(matrix, telemetry=telemetry)
+        rng = np.random.default_rng(5)
+        batches = [
+            rng.integers(0, matrix.n_queries, size=scale["serve_batch_size"])
+            for _ in range(scale["serve_batches"])
+        ]
+        return service, telemetry, batches
+
+    def run_telemetry_overhead(state):
+        # Timed region matches run_serve_batch exactly: any extra cost is
+        # the instrumentation tax.  (Registry reads stay out of the loop.)
+        service, telemetry, batches = state
+        served = 0
+        for batch in batches:
+            served += service.serve_batch(batch).batch_size
+        return {"served": served, "enabled": telemetry.config.enabled}
+
+    harness.add(
+        "telemetry_overhead",
+        run_telemetry_overhead,
+        setup=setup_telemetry_overhead,
+        repeats=repeats,
+    )
 
     # -- ingress_serve -----------------------------------------------------
     def setup_ingress():

@@ -30,6 +30,7 @@ from ..core.workload_matrix import WorkloadMatrix
 from ..durability.snapshot import matrix_to_jsonable
 from ..errors import ServingError
 from ..plans.featurize import TreeBatch
+from ..telemetry.runtime import Telemetry
 from .batch_cache import BatchDecisions, BatchedPlanCache
 from .refresh import IncrementalALSRefresher
 from .stats import LatencyRecorder, ServingStats
@@ -129,6 +130,12 @@ class ServingService:
         bypass this service, like re-exploration -- is logged before it
         applies; :meth:`record_measured` additionally journals executed
         decisions for audit.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`.  Only an *enabled*
+        one is kept (``Telemetry.enabled()``): the service then feeds the
+        registry's serving counters and per-stage latency histograms, and
+        stamps traces.  Disabled or absent, the hot path is byte-identical
+        to an uninstrumented service.
     """
 
     def __init__(
@@ -142,6 +149,7 @@ class ServingService:
         recorder: Optional[LatencyRecorder] = None,
         monitor=None,
         journal=None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.matrix = matrix
         self.cache = BatchedPlanCache(
@@ -165,6 +173,21 @@ class ServingService:
             matrix.journal = journal
         self._clock = clock
         self._recorder = recorder if recorder is not None else LatencyRecorder()
+        # Normalised once here: the hot path's only telemetry cost when
+        # disabled is a single attribute-is-None check.
+        self._telemetry = (
+            telemetry
+            if telemetry is not None and telemetry.config.enabled
+            else None
+        )
+        if self._telemetry is not None:
+            metrics = self._telemetry.serving_metrics()
+            self._recorder.bind_metrics(metrics)
+            # The recorder mirrors lazily; exports flush it first.
+            self._telemetry.register_sync(self._recorder.sync_metrics)
+            self.cache.bind_telemetry(self._telemetry, metrics, clock)
+            if journal is not None:
+                journal.bind_telemetry(self._telemetry, clock)
 
     # -- the hot path ---------------------------------------------------------
     def serve_batch(self, queries, annotate: bool = False) -> BatchDecisions:
@@ -193,6 +216,13 @@ class ServingService:
         self._recorder.record(
             decisions.batch_size, elapsed, decisions.non_default_count
         )
+        tel = self._telemetry
+        if tel is not None and tel.tracer._current is not None:
+            # Stage attribution only inside an open trace (the ingress
+            # path): a raw serve_batch already feeds repro_batch_seconds
+            # through the recorder mirror, and skipping the per-batch
+            # stage observe keeps enabled overhead within the <=5% gate.
+            tel.tracer.record_stage("shard.serve", elapsed)
         return decisions
 
     def serve_all(self, annotate: bool = False) -> BatchDecisions:
@@ -214,7 +244,12 @@ class ServingService:
         attached, the low-rank completion is warm-started forward as well.
         """
         version_before = self.matrix.version
-        self.matrix.observe_batch(queries, hints, latencies)
+        if self._telemetry is None:
+            self.matrix.observe_batch(queries, hints, latencies)
+        else:
+            start = self._clock()
+            self.matrix.observe_batch(queries, hints, latencies)
+            self._telemetry.tracer.record_stage("observe", self._clock() - start)
         if (
             refresh
             and self.refresher is not None
@@ -308,6 +343,20 @@ class ServingService:
         return self._recorder
 
     # -- telemetry ----------------------------------------------------------------
+    @property
+    def telemetry(self) -> Optional[Telemetry]:
+        """The enabled telemetry context, or None (disabled counts as None)."""
+        return self._telemetry
+
+    def record_shed(self, count: int = 1) -> None:
+        """Count admission-control shed arrivals.
+
+        The blessed mutation path: dual-writes the recorder and (when
+        bound) the registry mirror, without the deprecation warning that
+        direct :meth:`LatencyRecorder.record_shed` calls now carry.
+        """
+        self._recorder.record_shed(count, _blessed=True)
+
     def stats(self) -> ServingStats:
         """Throughput / latency / hit-rate report over everything served."""
         return self._recorder.report()

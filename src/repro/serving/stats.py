@@ -9,10 +9,22 @@ immutable report derived from them on demand.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
+
+from ..telemetry.runtime import (
+    BATCH_SECONDS,
+    BATCHES_TOTAL,
+    DECISIONS_TOTAL,
+    NON_DEFAULT_TOTAL,
+    REFRESHES_TOTAL,
+    SHED_TOTAL,
+    WALL_SECONDS_TOTAL,
+    ServingMetrics,
+)
 
 
 @dataclass(frozen=True)
@@ -56,13 +68,18 @@ class ServingStats:
     refreshes: int
     shed: int = 0
 
-    def as_dict(self) -> Dict[str, Union[int, float]]:
+    def as_dict(self, registry=None) -> Dict[str, Union[int, float, Dict]]:
         """Plain dictionary for dashboards and log lines.
 
         Counters (``decisions``, ``batches``, ``refreshes``) stay integers;
-        only the genuinely continuous fields are floats.
+        only the genuinely continuous fields are floats.  With a
+        :class:`~repro.telemetry.MetricsRegistry` passed, the dictionary
+        gains a ``telemetry`` section: the same report rebuilt from the
+        registry mirror (:meth:`from_registry`) plus a ``consistent`` flag
+        asserting the two counter sets agree -- the drift alarm between the
+        legacy recorder and the registry.
         """
-        return {
+        out: Dict[str, Union[int, float, Dict]] = {
             "decisions": int(self.decisions),
             "batches": int(self.batches),
             "wall_seconds": self.wall_seconds,
@@ -73,6 +90,69 @@ class ServingStats:
             "refreshes": int(self.refreshes),
             "shed": int(self.shed),
         }
+        if registry is not None:
+            mirror = ServingStats.from_registry(registry)
+            section = mirror.as_dict()
+            section["consistent"] = (
+                mirror.decisions == self.decisions
+                and mirror.batches == self.batches
+                and mirror.refreshes == self.refreshes
+                and mirror.shed == self.shed
+            )
+            out["telemetry"] = section
+        return out
+
+    @classmethod
+    def from_registry(
+        cls, registry, shard: Optional[str] = None
+    ) -> "ServingStats":
+        """Rebuild the report from the registry's well-known serving metrics.
+
+        The counters (decisions, batches, wall time, refreshes, shed) are
+        exact -- :meth:`LatencyRecorder.sync_metrics` feeds them from the
+        same samples :meth:`LatencyRecorder.report` folds, and every cold
+        path that reads the registry syncs first.  The percentiles come
+        from the fixed-bucket
+        ``repro_batch_seconds`` histogram, so they are bucket-interpolated
+        estimates rather than the recorder's exact sample percentiles.
+        With ``shard`` given, only that label's children are read;
+        otherwise every shard's children are merged first.
+        """
+        if DECISIONS_TOTAL not in registry:
+            return cls(
+                decisions=0, batches=0, wall_seconds=0.0, throughput_qps=0.0,
+                p50_latency_s=0.0, p99_latency_s=0.0,
+                non_default_fraction=0.0, refreshes=0, shed=0,
+            )
+
+        def child(name):
+            family = registry.get(name)
+            return (
+                family.merged_child() if shard is None else family.labels(shard)
+            )
+
+        decisions = int(child(DECISIONS_TOTAL).value)
+        wall = float(child(WALL_SECONDS_TOTAL).value)
+        hist = child(BATCH_SECONDS)
+        if wall > 0:
+            throughput = decisions / wall
+        else:
+            throughput = 0.0 if decisions == 0 else float("inf")
+        return cls(
+            decisions=decisions,
+            batches=int(child(BATCHES_TOTAL).value),
+            wall_seconds=wall,
+            throughput_qps=throughput,
+            p50_latency_s=hist.quantile(0.50),
+            p99_latency_s=hist.quantile(0.99),
+            non_default_fraction=(
+                float(child(NON_DEFAULT_TOTAL).value) / decisions
+                if decisions
+                else 0.0
+            ),
+            refreshes=int(child(REFRESHES_TOTAL).value),
+            shed=int(child(SHED_TOTAL).value),
+        )
 
     @classmethod
     def merge(cls, parts: Iterable["ServingStats"]) -> "ServingStats":
@@ -158,7 +238,20 @@ def _weighted_percentiles(values, weights, qs) -> np.ndarray:
 
 
 class LatencyRecorder:
-    """Accumulates batch timings; hot-path cost is three list appends."""
+    """Accumulates batch timings; hot-path cost is three list appends.
+
+    With a metrics mirror bound (:meth:`bind_metrics`), the registry's
+    well-known serving counters are fed from the same per-batch samples
+    this recorder keeps -- but lazily: :meth:`sync_metrics` pushes the
+    delta since the last sync, and runs from every cold path that reads
+    the registry (:meth:`report`, :meth:`Telemetry.snapshot`,
+    :meth:`Telemetry.expose_text`).  The hot path therefore stays the
+    original three list appends whether or not a mirror is bound, and
+    :meth:`ServingStats.from_registry` still cannot drift from
+    :meth:`report` -- both views derive from the same samples.  Registry
+    counters are monotonic: :meth:`reset` flushes pending deltas and
+    clears only the recorder's samples, never the mirror.
+    """
 
     def __init__(self) -> None:
         self._batch_sizes: List[int] = []
@@ -166,6 +259,63 @@ class LatencyRecorder:
         self._non_default: List[int] = []
         self._refreshes = 0
         self._shed = 0
+        self._metrics: Optional[ServingMetrics] = None
+        # Sync watermarks: how much of the sample history has already been
+        # pushed into the bound mirror.
+        self._synced_batches = 0
+        self._synced_refreshes = 0
+        self._synced_shed = 0
+
+    def bind_metrics(self, metrics: ServingMetrics) -> None:
+        """Mirror this recorder's samples into the registry's serving counters.
+
+        Once bound, the registry is the mutation authority for the shared
+        counters: external callers must go through the owning service's
+        blessed hooks (e.g. :meth:`ServingService.record_shed`) instead of
+        mutating this recorder directly.  On the *first* bind the
+        watermarks skip any pre-bind history (the registry mirrors what
+        happened under its watch); a rebind (the shard rebuilding its
+        service around the same recorder) keeps the watermarks so nothing
+        is double-counted or lost.
+        """
+        first = self._metrics is None
+        self._metrics = metrics
+        if first:
+            self._synced_batches = len(self._batch_sizes)
+            self._synced_refreshes = self._refreshes
+            self._synced_shed = self._shed
+
+    def sync_metrics(self) -> None:
+        """Push samples recorded since the last sync into the mirror."""
+        m = self._metrics
+        if m is None:
+            return
+        start = self._synced_batches
+        sizes = self._batch_sizes[start:]
+        if sizes:
+            self._synced_batches = len(self._batch_sizes)
+            seconds = self._batch_seconds[start:]
+            m.batches.inc(len(sizes))
+            m.wall_seconds.inc(float(np.sum(seconds)))
+            decisions = int(np.sum(sizes))
+            if decisions:
+                m.decisions.inc(decisions)
+                m.non_default.inc(int(np.sum(self._non_default[start:])))
+                hist = m.batch_seconds
+                for size, secs in zip(sizes, seconds):
+                    if size:
+                        # One weighted observe per batch: every decision is
+                        # charged the batch's amortised latency, matching
+                        # report()'s per-decision percentile population.
+                        hist.observe(secs / size, size)
+        refreshes = self._refreshes - self._synced_refreshes
+        if refreshes:
+            m.refreshes.inc(refreshes)
+            self._synced_refreshes = self._refreshes
+        shed = self._shed - self._synced_shed
+        if shed:
+            m.shed.inc(shed)
+            self._synced_shed = self._shed
 
     def record(self, batch_size: int, seconds: float, non_default: int) -> None:
         """Log one served batch."""
@@ -177,12 +327,30 @@ class LatencyRecorder:
         """Log one model/cache refresh."""
         self._refreshes += 1
 
-    def record_shed(self, count: int = 1) -> None:
-        """Log arrivals degraded to default plans by admission control."""
+    def record_shed(self, count: int = 1, _blessed: bool = False) -> None:
+        """Log arrivals degraded to default plans by admission control.
+
+        .. deprecated::
+            Calling this directly while a registry mirror is bound.  The
+            registry is then the mutation authority; use
+            :meth:`ServingService.record_shed` /
+            :meth:`ServingCluster.record_shed` instead (they stay
+            mirrored and keep ``from_registry`` consistent).
+        """
+        if self._metrics is not None and not _blessed:
+            warnings.warn(
+                "mutating LatencyRecorder counters directly is deprecated "
+                "once a metrics registry mirror is bound; call "
+                "ServingService.record_shed / ServingCluster.record_shed "
+                "instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self._shed += int(count)
 
     def report(self) -> ServingStats:
         """Fold the accumulated timings into a :class:`ServingStats`."""
+        self.sync_metrics()
         sizes = np.asarray(self._batch_sizes, dtype=float)
         seconds = np.asarray(self._batch_seconds, dtype=float)
         decisions = int(sizes.sum())
@@ -220,12 +388,21 @@ class LatencyRecorder:
         )
 
     def reset(self) -> None:
-        """Drop all accumulated timings (refresh and shed counts included)."""
+        """Drop all accumulated timings (refresh and shed counts included).
+
+        Pending deltas are flushed to the mirror first, so a reset never
+        loses registry counts -- the registry stays monotonic while the
+        recorder's own view restarts from zero.
+        """
+        self.sync_metrics()
         self._batch_sizes.clear()
         self._batch_seconds.clear()
         self._non_default.clear()
         self._refreshes = 0
         self._shed = 0
+        self._synced_batches = 0
+        self._synced_refreshes = 0
+        self._synced_shed = 0
 
     @classmethod
     def merged(cls, recorders: Sequence["LatencyRecorder"]) -> "LatencyRecorder":

@@ -124,6 +124,7 @@ class TestSuite:
             "explore_200_steps",
             "tcnn_predict_full",
             "serve_batch",
+            "telemetry_overhead",
             "ingress_serve",
             "adapt_drift",
             "wal_append",
@@ -143,6 +144,13 @@ class TestSuite:
         assert (
             results["als_warm"].best_seconds < results["als_cold"].best_seconds
         )
+
+    def test_telemetry_case_runs_with_instrumentation_on(self):
+        harness = build_suite("smoke")
+        results = harness.run(["telemetry_overhead"])
+        meta = results["telemetry_overhead"].meta
+        assert meta["enabled"] is True
+        assert meta["served"] > 0
 
     def test_durability_cases_run_and_report_counts(self):
         harness = build_suite("smoke")

@@ -1,0 +1,644 @@
+"""Telemetry: registry algebra, tracing, hot-path cost, stats mirrors.
+
+The merge law is the load-bearing property: because every histogram of a
+family shares fixed bucket bounds, ``merge(a, b)`` must be *exactly*
+``observe(union of samples)`` -- that is what makes per-shard registries
+foldable into one cluster view without approximation (beyond the bucket
+resolution any single histogram already has).  Hypothesis sweeps it.
+
+The other contracts under test:
+
+* label cardinality collapses into ``__overflow__`` past the bound,
+* the slow-trace ring evicts oldest-first and counts drops,
+* telemetry **disabled** adds zero allocations and zero code to the
+  batched lookup hot path (the service normalises a disabled telemetry
+  object to ``None`` and takes the identical branch),
+* decisions are byte-identical with telemetry on vs off,
+* ``ServingStats.from_registry`` / ``ClusterStats.from_registry``
+  agree with the recorder-backed reports (the dual-write mirror),
+* direct ``record_shed`` outside the blessed paths warns once a
+  registry mirror is bound,
+* ``configure_logging`` reconfigures its own handler on repeated calls
+  and ``json_logs=True`` emits one parseable dict per line.
+"""
+
+from __future__ import annotations
+
+import gc
+import io
+import json
+import logging
+import sys
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TelemetryConfig
+from repro.core.workload_matrix import WorkloadMatrix
+from repro.cluster.cluster import ServingCluster
+from repro.cluster.stats import ClusterStats
+from repro.errors import TelemetryError
+from repro.logging_util import JsonFormatter, configure_logging, get_logger
+from repro.serving.service import ServingService
+from repro.serving.stats import LatencyRecorder, ServingStats
+from repro.telemetry import (
+    DEFAULT_BUCKETS,
+    OVERFLOW_LABEL,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    collect_snapshot,
+    write_telemetry_json,
+)
+
+
+def make_matrix(n_queries: int = 20, n_hints: int = 4, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    matrix = WorkloadMatrix(n_queries, n_hints)
+    for q in range(n_queries):
+        for h in range(n_hints):
+            matrix.observe(q, h, float(rng.uniform(0.01, 0.3)))
+    return matrix
+
+
+def serve_traffic(service, n_batches: int = 8, seed: int = 1):
+    rng = np.random.default_rng(seed)
+    hints = []
+    for _ in range(n_batches):
+        batch = rng.integers(0, service.matrix.n_queries, size=16)
+        decisions = service.serve_batch(batch)
+        hints.append(decisions.hints.copy())
+        service.observe_batch(
+            batch,
+            decisions.hints.tolist(),
+            rng.uniform(0.01, 0.2, size=batch.size).tolist(),
+            refresh=False,
+        )
+    return hints
+
+
+# -- primitive metrics ---------------------------------------------------------
+
+
+class TestPrimitives:
+    def test_counter_monotonic(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(TelemetryError):
+            c.inc(-1)
+        with pytest.raises(AttributeError):
+            c.value = 99  # read-only: the registry is the mutation authority
+
+    def test_gauge_up_and_down(self):
+        g = Gauge()
+        g.set(10)
+        g.dec(4)
+        g.inc()
+        assert g.value == 7.0
+
+    def test_histogram_bounds_validation(self):
+        with pytest.raises(TelemetryError):
+            Histogram(bounds=[])
+        with pytest.raises(TelemetryError):
+            Histogram(bounds=[1.0, 1.0, 2.0])
+        with pytest.raises(TelemetryError):
+            Histogram(bounds=[2.0, 1.0])
+
+    def test_histogram_weighted_observe_is_batch_amortised(self):
+        h = Histogram(bounds=(0.1, 1.0))
+        h.observe(0.05, weight=32)  # one batch, 32 decisions
+        assert h.count == 32
+        assert h.total == pytest.approx(0.05 * 32)
+        assert h.counts[0] == 32
+
+    def test_histogram_observe_many_matches_loop(self):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0.0, 1.5, size=200)
+        vector = Histogram()
+        vector.observe_many(values)
+        loop = Histogram()
+        for v in values:
+            loop.observe(float(v))
+        assert vector.counts == loop.counts
+        assert vector.count == loop.count
+        assert vector.total == pytest.approx(loop.total)
+
+    def test_histogram_quantile_anchors(self):
+        h = Histogram(bounds=(1.0, 2.0, 4.0))
+        assert h.quantile(0.5) == 0.0  # empty
+        for v in (0.5, 1.5, 3.0, 9.0):
+            h.observe(v)
+        assert 0.0 <= h.quantile(0.25) <= 1.0
+        assert h.quantile(1.0) == 4.0  # +Inf clamps to last bound
+        with pytest.raises(TelemetryError):
+            h.quantile(1.5)
+
+
+# -- the merge law (hypothesis) ------------------------------------------------
+
+
+_SAMPLES = st.lists(
+    st.tuples(
+        st.floats(
+            min_value=0.0,
+            max_value=2.0,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        st.integers(min_value=1, max_value=5),
+    ),
+    max_size=40,
+)
+
+
+class TestMergeLaw:
+    @given(left=_SAMPLES, right=_SAMPLES)
+    @settings(deadline=None, max_examples=80)
+    def test_histogram_merge_equals_observe_all(self, left, right):
+        a = Histogram()
+        for value, weight in left:
+            a.observe(value, weight)
+        b = Histogram()
+        for value, weight in right:
+            b.observe(value, weight)
+        merged = Histogram()
+        merged.merge_from(a)
+        merged.merge_from(b)
+        direct = Histogram()
+        for value, weight in left + right:
+            direct.observe(value, weight)
+        assert merged.counts == direct.counts
+        assert merged.count == direct.count
+        assert merged.total == pytest.approx(direct.total)
+        for q in (0.5, 0.9, 0.99):
+            assert merged.quantile(q) == pytest.approx(direct.quantile(q))
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a = Histogram(bounds=(1.0, 2.0))
+        b = Histogram(bounds=(1.0, 3.0))
+        with pytest.raises(TelemetryError):
+            a.merge_from(b)
+
+    def test_registry_merge_folds_families_and_labels(self):
+        parts = []
+        for shard in range(3):
+            reg = MetricsRegistry()
+            reg.counter("repro_x_total", labels=("shard",)).labels(
+                str(shard)
+            ).inc(shard + 1)
+            reg.histogram("repro_y_seconds").child.observe(0.01 * (shard + 1))
+            parts.append(reg)
+        merged = MetricsRegistry.merged(parts)
+        family = merged.get("repro_x_total")
+        assert merged.get("repro_y_seconds").child.count == 3
+        assert family.merged_child().value == 1 + 2 + 3
+        assert {key[0] for key, _ in family.children()} == {"0", "1", "2"}
+
+
+# -- cardinality guard ---------------------------------------------------------
+
+
+class TestCardinality:
+    def test_overflow_collapses_past_bound(self):
+        reg = MetricsRegistry(max_label_values=3)
+        family = reg.counter("repro_t_total", labels=("tenant",))
+        for tenant in ("a", "b", "c"):
+            family.labels(tenant).inc()
+        overflowed = family.labels("d")
+        again = family.labels("e")
+        assert overflowed is again  # both collapse onto the shared child
+        overflowed.inc(5)
+        assert family.labels(OVERFLOW_LABEL).value == 5
+        assert reg.label_overflows.value == 2
+        # Established children keep working past the bound.
+        family.labels("a").inc()
+        assert family.labels("a").value == 2
+        assert len(family.children()) == 4  # 3 real + overflow
+
+    def test_snapshot_reports_overflows(self):
+        reg = MetricsRegistry(max_label_values=1)
+        fam = reg.counter("repro_t_total", labels=("tenant",))
+        fam.labels("a").inc()
+        fam.labels("b").inc()
+        assert reg.snapshot()["_label_overflows"] == 1
+
+    def test_registration_signature_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total")
+        assert reg.counter("repro_x_total") is reg.get("repro_x_total")
+        with pytest.raises(TelemetryError):
+            reg.gauge("repro_x_total")
+        with pytest.raises(TelemetryError):
+            reg.counter("repro_x_total", labels=("shard",))
+        with pytest.raises(TelemetryError):
+            reg.counter("bad name!")
+
+
+# -- tracing -------------------------------------------------------------------
+
+
+class TestTracing:
+    def test_ring_evicts_oldest_and_counts_drops(self):
+        tracer = Tracer(MetricsRegistry(), ring_size=3)
+        for i in range(5):
+            tracer.start(f"t{i}")
+            tracer.record_stage("shard.serve", 0.001 * (i + 1))
+            tracer.finish()
+        names = [t.name for t in tracer.slow_traces()]
+        assert names == ["t2", "t3", "t4"]  # t0, t1 evicted oldest-first
+        assert tracer.dropped_traces == 2
+        assert tracer.finished_traces == 5
+
+    def test_slow_threshold_filters_ring(self):
+        tracer = Tracer(MetricsRegistry(), slow_trace_seconds=0.01)
+        tracer.start("fast")
+        tracer.record_stage("shard.serve", 0.001)
+        tracer.finish()
+        tracer.start("slow")
+        tracer.record_stage("shard.serve", 0.02)
+        tracer.finish()
+        assert [t.name for t in tracer.slow_traces()] == ["slow"]
+        assert tracer.finished_traces == 2  # both finished, one admitted
+
+    def test_stages_feed_histogram_without_open_trace(self):
+        reg = MetricsRegistry()
+        tracer = Tracer(reg)
+        tracer.record_stage("cache.lookup", 0.003, weight=4)
+        hist = reg.get("repro_stage_seconds").labels("cache.lookup")
+        assert hist.count == 4
+        assert tracer.current is None
+
+    def test_total_is_enclosing_stage_and_slowest_sorts(self):
+        tracer = Tracer(MetricsRegistry())
+        tracer.start("req", batch_size=8)
+        tracer.record_stage("shard.serve", 0.010)
+        tracer.record_stage("cache.lookup", 0.004)  # nested, not additive
+        trace = tracer.finish()
+        assert trace.total_seconds == pytest.approx(0.010)
+        slowest = tracer.slowest(1)
+        assert slowest and slowest[0].name == "req"
+
+    def test_abandon_drops_current(self):
+        tracer = Tracer(MetricsRegistry())
+        tracer.start("doomed")
+        tracer.abandon()
+        assert tracer.finish() is None
+        assert tracer.slow_traces() == []
+
+
+# -- exposition ----------------------------------------------------------------
+
+
+class TestExposition:
+    def test_prometheus_text_format(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "repro_decisions_total", "Decisions served.", labels=("shard",)
+        ).labels("0").inc(7)
+        hist = reg.histogram("repro_batch_seconds", bounds=(0.1, 1.0))
+        hist.child.observe(0.05)
+        hist.child.observe(0.5)
+        hist.child.observe(5.0)
+        text = reg.expose_text()
+        assert "# HELP repro_decisions_total Decisions served." in text
+        assert "# TYPE repro_decisions_total counter" in text
+        assert 'repro_decisions_total{shard="0"} 7' in text
+        assert "# TYPE repro_batch_seconds histogram" in text
+        # Cumulative buckets: 1 at le=0.1, 2 at le=1.0, 3 at +Inf.
+        assert 'repro_batch_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_batch_seconds_bucket{le="1.0"} 2' in text
+        assert 'repro_batch_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_batch_seconds_count 3" in text
+        assert "repro_label_overflows_total 0" in text
+
+    def test_snapshot_is_json_ready(self):
+        tel = Telemetry.enabled()
+        tel.serving_metrics().decisions.inc(3)
+        json.dumps(tel.snapshot())  # must not raise
+        json.dumps(tel.registry.snapshot())
+
+
+# -- config --------------------------------------------------------------------
+
+
+class TestConfig:
+    def test_disabled_by_default(self):
+        assert TelemetryConfig().enabled is False
+        assert Telemetry().config.enabled is False
+        assert Telemetry.enabled().config.enabled is True
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            TelemetryConfig(trace_ring=0)
+        with pytest.raises(Exception):
+            TelemetryConfig(max_label_values=0)
+        with pytest.raises(Exception):
+            TelemetryConfig(latency_buckets=(2.0, 1.0))
+
+    def test_labeled_views_share_registry(self):
+        tel = Telemetry.enabled()
+        shard0 = tel.labeled("0")
+        shard1 = tel.labeled("1")
+        assert shard0.registry is tel.registry
+        assert shard0.tracer is tel.tracer
+        shard0.serving_metrics().decisions.inc(2)
+        shard1.serving_metrics().decisions.inc(3)
+        family = tel.registry.get("repro_decisions_total")
+        assert family.merged_child().value == 5
+
+    def test_child_gets_own_registry(self):
+        tel = Telemetry.enabled()
+        child = tel.child("w1")
+        assert child.registry is not tel.registry
+        child.serving_metrics().decisions.inc(4)
+        merged = tel.merged_registry([child])
+        assert merged.get("repro_decisions_total").merged_child().value == 4
+
+
+# -- hot path ------------------------------------------------------------------
+
+
+class TestHotPath:
+    def test_decisions_identical_with_telemetry_on_off(self):
+        base = ServingService(make_matrix(seed=5))
+        instrumented = ServingService(
+            make_matrix(seed=5), telemetry=Telemetry.enabled()
+        )
+        for hints_a, hints_b in zip(
+            serve_traffic(base, seed=9), serve_traffic(instrumented, seed=9)
+        ):
+            np.testing.assert_array_equal(hints_a, hints_b)
+
+    def test_disabled_telemetry_normalises_to_none(self):
+        service = ServingService(make_matrix(), telemetry=Telemetry())
+        assert service.telemetry is None
+        assert service.cache._tracer is None
+
+    def test_disabled_adds_zero_allocations_on_batched_lookup(self):
+        def blocks_per_decide(service, rounds=60):
+            queries = np.arange(service.matrix.n_queries, dtype=np.int64)
+            for _ in range(5):  # warm caches, interned ints, freelists
+                service.cache.decide(queries)
+            gc.collect()
+            gc.disable()
+            try:
+                before = sys.getallocatedblocks()
+                for _ in range(rounds):
+                    service.cache.decide(queries)
+                return sys.getallocatedblocks() - before
+            finally:
+                gc.enable()
+
+        plain = ServingService(make_matrix(seed=2))
+        disabled = ServingService(make_matrix(seed=2), telemetry=Telemetry())
+        # Identical code path => identical steady-state allocation profile.
+        assert blocks_per_decide(disabled) == blocks_per_decide(plain)
+
+    def test_enabled_records_stages_and_counters(self):
+        tel = Telemetry.enabled()
+        service = ServingService(make_matrix(), telemetry=tel)
+        served = sum(h.size for h in serve_traffic(service, n_batches=4))
+        # The feedback path records its stage unconditionally; the serve
+        # stages only attribute inside an open trace (see ingress test).
+        stage = tel.registry.get("repro_stage_seconds")
+        assert {key[0] for key, _ in stage.children()} == {"observe"}
+        tel.sync()  # counters mirror lazily; exports flush first
+        decisions = tel.registry.get("repro_decisions_total").merged_child()
+        assert decisions.value == served
+
+    def test_ingress_traces_cover_serve_stages(self):
+        import asyncio
+
+        from repro.config import IngressConfig
+        from repro.ingress import ServiceIngress
+
+        tel = Telemetry.enabled()
+        service = ServingService(make_matrix(), telemetry=tel)
+        rng = np.random.default_rng(21)
+        queries = rng.integers(0, 20, size=64).tolist()
+
+        async def drive():
+            config = IngressConfig(max_batch=16, max_wait_s=0.001)
+            async with ServiceIngress(service, config) as ingress:
+                return await ingress.serve_many(queries)
+
+        results = asyncio.run(drive())
+        assert len(results) == len(queries)
+        assert tel.tracer.finished_traces > 0
+        ring = tel.tracer.slow_traces()
+        assert ring, "threshold 0.0 admits every trace"
+        stages = {stage for trace in ring for stage, _ in trace.stages}
+        assert {"ingress.flush", "shard.serve", "cache.lookup"} <= stages
+        stage_names = {
+            key[0]
+            for key, _ in tel.registry.get("repro_stage_seconds").children()
+        }
+        assert {"ingress.flush", "shard.serve", "cache.lookup"} <= stage_names
+
+
+# -- stats mirrors -------------------------------------------------------------
+
+
+class TestStatsMirror:
+    def test_service_from_registry_matches_recorder(self, fast_als_config):
+        from repro.serving.refresh import IncrementalALSRefresher
+
+        tel = Telemetry.enabled()
+        service = ServingService(
+            make_matrix(),
+            refresher=IncrementalALSRefresher(fast_als_config),
+            telemetry=tel,
+        )
+        serve_traffic(service, n_batches=6)
+        service.refresh_now()
+        recorded = service.stats()
+        mirrored = ServingStats.from_registry(tel.registry)
+        assert mirrored.decisions == recorded.decisions
+        assert mirrored.batches == recorded.batches
+        assert mirrored.refreshes == recorded.refreshes
+        assert mirrored.shed == recorded.shed
+        assert mirrored.non_default_fraction == pytest.approx(
+            recorded.non_default_fraction
+        )
+        assert mirrored.wall_seconds == pytest.approx(recorded.wall_seconds)
+        payload = recorded.as_dict(registry=tel.registry)
+        assert payload["telemetry"]["consistent"] is True
+
+    def test_from_registry_on_empty_registry_is_zero(self):
+        stats = ServingStats.from_registry(MetricsRegistry())
+        assert stats.decisions == 0
+        assert stats.throughput_qps == 0.0
+
+    def test_cluster_from_registry_consistent_without_crashes(self):
+        rng = np.random.default_rng(11)
+        tel = Telemetry.enabled()
+        cluster = ServingCluster(3, 4, telemetry=tel)
+        keys = [f"q{i}" for i in range(18)]
+        cluster.add_tenant("t", keys)
+        for _ in range(6):
+            batch = rng.integers(0, len(keys), size=8)
+            decisions = cluster.serve_batch("t", batch)
+            cluster.observe_batch(
+                "t",
+                batch,
+                decisions.hints.tolist(),
+                rng.uniform(0.01, 0.2, size=8).tolist(),
+            )
+        cluster.tick()
+        stats = cluster.stats()
+        payload = stats.as_dict(registry=tel.registry)
+        assert payload["telemetry"]["consistent"] is True
+        mirror = ClusterStats.from_registry(tel.registry)
+        assert mirror.cluster.decisions == stats.cluster.decisions
+        assert mirror.routed_batches == stats.routed_batches
+        assert sorted(mirror.per_shard) == sorted(stats.per_shard)
+        assert mirror.n_shards == stats.n_shards
+        assert mirror.total_rows == stats.total_rows
+
+    def test_direct_shed_mutation_warns_once_mirrored(self):
+        recorder = LatencyRecorder()
+        recorder.record_shed(2)  # unmirrored: legacy path stays silent
+        tel = Telemetry.enabled()
+        recorder.bind_metrics(tel.serving_metrics())
+        with pytest.warns(DeprecationWarning):
+            recorder.record_shed(3)
+        assert recorder.report().shed == 5
+        shed = tel.registry.get("repro_shed_total").merged_child().value
+        assert shed == 3  # only mirrored increments reach the registry
+
+    def test_blessed_shed_path_does_not_warn(self):
+        tel = Telemetry.enabled()
+        service = ServingService(make_matrix(), telemetry=tel)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            service.record_shed(4)
+        assert service.stats().shed == 4
+        assert tel.registry.get("repro_shed_total").merged_child().value == 4
+
+
+# -- snapshots -----------------------------------------------------------------
+
+
+class TestSnapshots:
+    def test_collect_snapshot_sections(self, tmp_path, monkeypatch):
+        tel = Telemetry.enabled()
+        service = ServingService(make_matrix(), telemetry=tel)
+        serve_traffic(service, n_batches=3)
+        snapshot = collect_snapshot(
+            telemetry=tel, service=service, extra={"run": "unit"}
+        )
+        payload = snapshot.as_dict()
+        assert payload["schema_version"] == 1
+        assert payload["enabled"] is True
+        assert "repro_decisions_total" in payload["metrics"]
+        assert payload["serving"]["decisions"] > 0
+        assert payload["extra"] == {"run": "unit"}
+        json.loads(snapshot.to_json())
+        monkeypatch.setenv("BENCH_OUTPUT_DIR", str(tmp_path))
+        path = write_telemetry_json("unit", snapshot)
+        written = json.loads((tmp_path / "TELEMETRY_unit.json").read_text())
+        assert written["schema_version"] == 1
+        assert path.endswith("TELEMETRY_unit.json")
+
+    def test_cluster_snapshot_has_wal_and_health(self, tmp_path):
+        rng = np.random.default_rng(13)
+        tel = Telemetry.enabled()
+        cluster = ServingCluster(
+            2, 4, durability_dir=str(tmp_path), telemetry=tel
+        )
+        keys = [f"q{i}" for i in range(12)]
+        cluster.add_tenant("t", keys)
+        batch = rng.integers(0, len(keys), size=8)
+        decisions = cluster.serve_batch("t", batch)
+        cluster.observe_batch(
+            "t",
+            batch,
+            decisions.hints.tolist(),
+            rng.uniform(0.01, 0.2, size=8).tolist(),
+        )
+        cluster.checkpoint()
+        snapshot = collect_snapshot(telemetry=tel, cluster=cluster)
+        wal = snapshot.section("wal")
+        assert sorted(wal) == ["0", "1"]
+        for section in wal.values():
+            assert section["checkpoints"] == 1
+            assert section["segment_count"] >= 1
+        assert snapshot.section("health")["n_up"] == 2
+        assert snapshot.section("scheduler")["budget_per_tick"] >= 1
+        json.loads(snapshot.to_json())
+
+
+# -- logging satellites --------------------------------------------------------
+
+
+class TestLogging:
+    @pytest.fixture(autouse=True)
+    def _clean_repro_logger(self):
+        logger = logging.getLogger("repro")
+        saved = list(logger.handlers)
+        saved_level = logger.level
+        for handler in saved:
+            logger.removeHandler(handler)
+        yield
+        for handler in list(logger.handlers):
+            logger.removeHandler(handler)
+        for handler in saved:
+            logger.addHandler(handler)
+        logger.setLevel(saved_level)
+
+    def test_repeated_calls_update_handler_level(self):
+        logger = configure_logging(logging.DEBUG)
+        handler = logger.handlers[0]
+        assert handler.level == logging.DEBUG
+        configure_logging(logging.WARNING)
+        assert len(logger.handlers) == 1
+        assert handler.level == logging.WARNING
+        assert logger.level == logging.WARNING
+
+    def test_json_logs_emit_one_dict_per_line(self):
+        logger = configure_logging(logging.INFO, json_logs=True)
+        handler = logger.handlers[0]
+        assert isinstance(handler.formatter, JsonFormatter)
+        stream = io.StringIO()
+        handler.stream = stream
+        get_logger("unit").info("served %d", 42)
+        get_logger("unit").warning("drift")
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["message"] == "served 42"
+        assert first["level"] == "INFO"
+        assert first["logger"] == "repro.unit"
+        assert json.loads(lines[1])["level"] == "WARNING"
+
+    def test_flipping_json_mode_swaps_formatter_in_place(self):
+        logger = configure_logging(logging.INFO, json_logs=True)
+        configure_logging(logging.INFO, json_logs=False)
+        assert len(logger.handlers) == 1
+        assert not isinstance(logger.handlers[0].formatter, JsonFormatter)
+
+    def test_foreign_handlers_are_left_alone(self):
+        logger = logging.getLogger("repro")
+        foreign = logging.NullHandler()
+        logger.addHandler(foreign)
+        configure_logging(logging.INFO)
+        assert foreign in logger.handlers
+        assert len(logger.handlers) == 2  # foreign + the managed one
+        configure_logging(logging.DEBUG)
+        assert len(logger.handlers) == 2  # still no duplication
+
+
+DEFAULT_BUCKET_COUNT = len(DEFAULT_BUCKETS)
+
+
+def test_default_buckets_match_config():
+    assert tuple(TelemetryConfig().latency_buckets) == DEFAULT_BUCKETS
+    assert DEFAULT_BUCKET_COUNT == 19
